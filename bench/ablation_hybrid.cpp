@@ -1,0 +1,49 @@
+// Ablation (paper §5.2 conjecture / §7 future work): HYBRID strategies for
+// distributed training — GDP to coordinate between machines (no hidden
+// embeddings cross the network) combined with SNP among the GPUs of each
+// machine (to exploit the GPU caches). Compares pure GDP, pure SNP, pure
+// DNP, and the hybrid on the 4-machine platform.
+//
+// Expected shape: on the scattered FS-like graph the hybrid beats pure SNP
+// (whose virtual-node shuffles cross the slow network) while retaining most
+// of SNP's cache-locality advantage over GDP.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Ablation: hybrid (inter-machine GDP + intra-machine SNP) ===\n");
+  std::printf("%-22s | %10s | %10s | %10s | %10s\n", "config", "GDP(ms)", "SNP(ms)",
+              "DNP(ms)", "hybrid(ms)");
+  std::printf("%s\n", std::string(76, '-').c_str());
+  for (const Dataset* ds : {&PsLike(), &FsLike()}) {
+    for (std::int64_t hidden : {32, 128}) {
+      const ClusterSpec cluster = MultiMachineCluster(4, 4);
+      const ModelConfig model = SageConfig(*ds, hidden);
+      EngineOptions opts = PaperDefaults();
+      opts.cache_bytes_per_device = DefaultCacheBytes(*ds);
+
+      MultilevelPartitioner ml;
+      const std::vector<PartId> partition =
+          ml.Partition(ds->graph, cluster.num_devices());
+      const DryRunResult dry = DryRun(*ds, cluster, partition, opts, model);
+
+      auto run = [&](Strategy s, bool hybrid) {
+        TrainerSetup setup =
+            BuildTrainerSetup(cluster, model, opts, partition, dry, s);
+        setup.engine.hybrid_intra_machine = hybrid;
+        ParallelTrainer trainer(*ds, std::move(setup));
+        return trainer.TrainEpoch(0).sim_seconds * 1e3;
+      };
+      std::printf("%-22s | %10.2f | %10.2f | %10.2f | %10.2f\n",
+                  (ds->name + " d'=" + std::to_string(hidden)).c_str(),
+                  run(Strategy::kGDP, false), run(Strategy::kSNP, false),
+                  run(Strategy::kDNP, false), run(Strategy::kSNP, true));
+    }
+  }
+  return 0;
+}

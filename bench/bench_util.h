@@ -1,0 +1,86 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every figure bench runs the four strategies on a configuration, prints the
+// per-strategy epoch time with the paper's sampling/loading/training
+// decomposition, and stars the strategy APT's planner selects. Epoch times
+// are SIMULATED seconds on the modeled cluster (see DESIGN.md): absolute
+// values are not comparable to the paper's testbed, the relative shape is.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apt/adapter.h"
+#include "core/logging.h"
+#include "apt/planner.h"
+#include "engine/trainer.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sim/hardware.h"
+
+namespace apt::bench {
+
+/// One benchmark configuration (a cell group in a paper figure).
+struct CaseConfig {
+  std::string label;
+  const Dataset* dataset = nullptr;
+  ClusterSpec cluster;
+  ModelConfig model;
+  EngineOptions opts;
+  Partitioner* partitioner = nullptr;  ///< default: multilevel
+  int epochs = 1;                      ///< measured epochs (averaged)
+};
+
+/// Per-strategy outcome for one case.
+struct StrategyResult {
+  Strategy strategy = Strategy::kGDP;
+  EpochStats epoch;       ///< averaged over measured epochs
+  bool oom = false;       ///< simulated device memory exceeded
+  CostEstimate estimate;  ///< planner's view
+};
+
+struct CaseResult {
+  std::string label;
+  std::vector<StrategyResult> per_strategy;
+  Strategy selected = Strategy::kGDP;  ///< APT's pick
+  double dryrun_wall_seconds = 0.0;
+
+  const StrategyResult& of(Strategy s) const {
+    return per_strategy[static_cast<std::size_t>(s)];
+  }
+  /// Simulated epoch seconds of the fastest non-OOM strategy.
+  double BestSeconds() const;
+  /// Epoch seconds of APT's selection.
+  double SelectedSeconds() const { return of(selected).epoch.sim_seconds; }
+};
+
+/// Runs planner + all four strategies for one case.
+CaseResult RunCase(const CaseConfig& config);
+
+/// Prints the header / one row of the standard figure table. Columns per
+/// strategy: total epoch seconds with (sample/load/train) breakdown; the
+/// APT selection is starred.
+void PrintTableHeader(const std::string& sweep_name);
+void PrintCaseRow(const CaseResult& result);
+
+/// The three paper-graph stand-ins at bench scale (cached per process).
+const Dataset& PsLike();
+const Dataset& FsLike();
+const Dataset& ImLike();
+
+/// Default engine options used by the paper's main experiments
+/// (fanout [10,10,10], per-GPU batch, 4 GB cache scaled to our graphs).
+EngineOptions PaperDefaults();
+
+/// Default GraphSAGE config (3 layers, hidden 32) for dataset `ds`.
+ModelConfig SageConfig(const Dataset& ds, std::int64_t hidden = 32);
+/// Default GAT config (3 layers, hidden 8, 4 heads).
+ModelConfig GatConfig(const Dataset& ds, std::int64_t hidden = 8);
+
+/// Scaled stand-in for the paper's 4 GB GPU cache: enough for ~1/6 of the
+/// bench dataset's features, mirroring 4 GB vs the paper's 53-128 GB.
+std::int64_t DefaultCacheBytes(const Dataset& ds);
+
+}  // namespace apt::bench

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 1 (the motivating "no consistent winner" plot):
+//   (a) GraphSAGE on the PS-like graph, sweeping the INPUT feature
+//       dimension {64, 128, 256, 512} at hidden dim 32;
+//   (b) GraphSAGE on the FS-like graph, sweeping the HIDDEN dimension
+//       {8, 32, 128, 512}.
+//
+// Expected shape: in (a) the optimum drifts away from GDP as the input
+// dimension grows (feature loading dominates, favoring the strategies that
+// localize feature reads); in (b) SNP wins at small hidden dims and
+// GDP/DNP take over at large ones.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Figure 1a: PS-like, epoch time vs INPUT dimension (d'=32) ===\n");
+  PrintTableHeader("input dim");
+  std::vector<Dataset> variants;
+  for (std::int64_t dim : {64, 128, 256, 512}) {
+    variants.push_back(MakeDataset(WithFeatureDim(PsLikeParams(0.25), dim)));
+  }
+  for (const Dataset& ds : variants) {
+    CaseConfig cfg;
+    cfg.label = "ps_like d=" + std::to_string(ds.feature_dim());
+    cfg.dataset = &ds;
+    cfg.cluster = SingleMachineCluster(8);
+    cfg.model = SageConfig(ds, 32);
+    cfg.opts = PaperDefaults();
+    // Fixed byte budget across input dims (the paper fixes 4 GB): larger
+    // features squeeze the hit rate.
+    cfg.opts.cache_bytes_per_device = MakeDataset(PsLikeParams(0.25)).FeatureBytes() / 12;
+    PrintCaseRow(RunCase(cfg));
+  }
+
+  std::printf("\n=== Figure 1b: FS-like, epoch time vs HIDDEN dimension ===\n");
+  PrintTableHeader("hidden dim");
+  for (std::int64_t hidden : {8, 32, 128, 512}) {
+    CaseConfig cfg;
+    cfg.label = "fs_like d'=" + std::to_string(hidden);
+    cfg.dataset = &FsLike();
+    cfg.cluster = SingleMachineCluster(8);
+    cfg.model = SageConfig(FsLike(), hidden);
+    cfg.opts = PaperDefaults();
+    cfg.opts.cache_bytes_per_device = DefaultCacheBytes(FsLike());
+    PrintCaseRow(RunCase(cfg));
+  }
+  return 0;
+}

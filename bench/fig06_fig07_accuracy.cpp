@@ -1,0 +1,89 @@
+// Reproduces paper Figures 6 and 7 (sanity checks):
+//   Fig 6 — test accuracy vs EPOCH for the four APT strategies plus a plain
+//           GDP reference ("DGL" role): curves must coincide, since the
+//           strategies are semantically equivalent.
+//   Fig 7 — test accuracy vs simulated TIME: APT's GDP (with cache
+//           disabled, as the paper does for the DGL comparison) tracks the
+//           reference; also reports the dry-run overhead against the time
+//           to reach the target accuracy.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  const Dataset& ds = PsLike();
+  const ClusterSpec cluster = SingleMachineCluster(8);
+  const ModelConfig model = SageConfig(ds, 32);
+  EngineOptions opts = PaperDefaults();
+  opts.cache_bytes_per_device = DefaultCacheBytes(ds);
+  const int epochs = 10;
+
+  MultilevelPartitioner ml;
+  const std::vector<PartId> partition = ml.Partition(ds.graph, cluster.num_devices());
+  const PlanReport plan = MakePlan(ds, cluster, partition, opts, model);
+
+  std::printf("=== Figure 6: test accuracy vs epoch (GraphSAGE on %s) ===\n",
+              ds.name.c_str());
+  std::printf("%-8s", "epoch");
+  for (Strategy s : kAllStrategies) std::printf("  %8s", ToString(s));
+  std::printf("\n");
+
+  std::vector<std::unique_ptr<ParallelTrainer>> trainers;
+  for (Strategy s : kAllStrategies) {
+    trainers.push_back(std::make_unique<ParallelTrainer>(
+        ds, BuildTrainerSetup(cluster, model, opts, partition, plan.dryrun, s)));
+  }
+  std::vector<std::vector<double>> acc(kNumStrategies);
+  std::vector<std::vector<double>> time_s(kNumStrategies);
+  for (int e = 0; e < epochs; ++e) {
+    std::printf("%-8d", e + 1);
+    for (std::size_t i = 0; i < trainers.size(); ++i) {
+      trainers[i]->TrainEpoch(e);
+      const double a = trainers[i]->EvaluateAccuracy(ds.test_nodes);
+      acc[i].push_back(a);
+      time_s[i].push_back(trainers[i]->sim().MaxNow());
+      std::printf("  %8.3f", a);
+    }
+    std::printf("\n");
+  }
+  // Equivalence check: curves should agree closely epoch by epoch.
+  double max_gap = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    for (int i = 1; i < kNumStrategies; ++i) {
+      max_gap = std::max(max_gap, std::abs(acc[static_cast<std::size_t>(i)]
+                                              [static_cast<std::size_t>(e)] -
+                                           acc[0][static_cast<std::size_t>(e)]));
+    }
+  }
+  std::printf("max accuracy gap vs GDP across strategies/epochs: %.4f\n", max_gap);
+
+  std::printf("\n=== Figure 7: test accuracy vs simulated time ===\n");
+  std::printf("%-10s", "strategy");
+  for (int e = 0; e < epochs; ++e) std::printf("  ep%-2d(ms/acc)  ", e + 1);
+  std::printf("\n");
+  for (Strategy s : kAllStrategies) {
+    const auto i = static_cast<std::size_t>(s);
+    std::printf("%-10s", ToString(s));
+    for (int e = 0; e < epochs; ++e) {
+      std::printf("  %6.1f/%.3f", time_s[i][static_cast<std::size_t>(e)] * 1e3,
+                  acc[i][static_cast<std::size_t>(e)]);
+    }
+    std::printf("\n");
+  }
+
+  // Dry-run overhead vs training time (the paper reports 25s vs 449s).
+  const double train_to_end =
+      time_s[static_cast<std::size_t>(plan.selected)].back();
+  std::printf(
+      "\nAPT dry-run host overhead: %.3fs; simulated %d-epoch training with %s: %.1fms\n",
+      plan.dryrun.wall_seconds, epochs, ToString(plan.selected), train_to_end * 1e3);
+  std::printf(
+      "(the dry-run samples one epoch per seed-assignment family and skips feature "
+      "loading, embedding shuffles, and all model computation)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Figure 8a: epoch time of GDP/NFP/SNP/DNP when training
+// GraphSAGE on a single 8-GPU machine, sweeping the hidden dimension over
+// {8, 32, 128, 512} on the PS-, FS-, and IM-like graphs. The strategy APT
+// selects is starred.
+//
+// Expected shape (paper §5.2): all strategies slow down as the hidden dim
+// grows; GDP becomes optimal at large hidden dims because it is the only
+// strategy that never shuffles hidden embeddings; at small hidden dims the
+// cache-friendly strategies (SNP/DNP on FS, GDP/DNP on the skewed PS) win.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Figure 8a: epoch time vs hidden dimension (GraphSAGE, 8 GPUs) ===\n");
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    PrintTableHeader(ds->name + " hidden");
+    for (std::int64_t hidden : {8, 32, 128, 512}) {
+      CaseConfig cfg;
+      cfg.label = ds->name + " d'=" + std::to_string(hidden);
+      cfg.dataset = ds;
+      cfg.cluster = SingleMachineCluster(8);
+      cfg.model = SageConfig(*ds, hidden);
+      cfg.opts = PaperDefaults();
+      cfg.opts.cache_bytes_per_device = DefaultCacheBytes(*ds);
+      PrintCaseRow(RunCase(cfg));
+    }
+  }
+  return 0;
+}

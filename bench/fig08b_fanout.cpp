@@ -1,0 +1,45 @@
+// Reproduces paper Figure 8b: epoch time vs sampling fanout (GraphSAGE,
+// 8 GPUs, single machine). Fanouts [10,5] and [15,10] train 2-layer models;
+// [10,10,10] and [20,15,10] train 3-layer models.
+//
+// Expected shape: with light fanouts GDP is (near-)optimal because the
+// shuffling overheads of NFP/SNP/DNP are not amortized; with heavy fanouts
+// the graphs diverge — the skewed PS-like graph keeps favoring GDP while
+// the scattered FS-like graph favors SNP (paper §5.2 "Fanout").
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  const std::vector<std::vector<int>> fanouts{
+      {10, 5}, {15, 10}, {10, 10, 10}, {20, 15, 10}};
+  auto label_of = [](const std::vector<int>& f) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      s += (i ? "," : "") + std::to_string(f[i]);
+    }
+    return s + "]";
+  };
+
+  std::printf("=== Figure 8b: epoch time vs fanout (GraphSAGE, 8 GPUs) ===\n");
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    PrintTableHeader(ds->name + " fanout");
+    for (const auto& f : fanouts) {
+      CaseConfig cfg;
+      cfg.label = ds->name + " " + label_of(f);
+      cfg.dataset = ds;
+      cfg.cluster = SingleMachineCluster(8);
+      cfg.model = SageConfig(*ds, 32);
+      cfg.model.num_layers = static_cast<int>(f.size());
+      cfg.opts = PaperDefaults();
+      cfg.opts.fanouts = f;
+      cfg.opts.cache_bytes_per_device = DefaultCacheBytes(*ds);
+      PrintCaseRow(RunCase(cfg));
+    }
+  }
+  return 0;
+}

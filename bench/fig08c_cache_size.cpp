@@ -1,0 +1,38 @@
+// Reproduces paper Figure 8c: epoch time vs per-GPU cache size (GraphSAGE,
+// 8 GPUs, single machine). Cache sizes are expressed as fractions of the
+// dataset's feature table (the paper's absolute 0-8 GB against 53-128 GB
+// feature stores spans the same relative range).
+//
+// Expected shape: with the cache disabled GDP is optimal (everyone loads
+// everything from CPU, and only GDP skips the shuffles); with a cache the
+// skewed PS-like graph favors GDP while the scattered FS-like graph favors
+// SNP; all strategies see diminishing returns as the cache grows.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Figure 8c: epoch time vs GPU cache size (GraphSAGE, 8 GPUs) ===\n");
+  const std::pair<const char*, double> fractions[] = {
+      {"cache=0", 0.0}, {"cache=1/24", 1.0 / 24}, {"cache=1/12", 1.0 / 12},
+      {"cache=1/6", 1.0 / 6}, {"cache=1/3", 1.0 / 3}};
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    PrintTableHeader(ds->name + " cache");
+    for (const auto& [name, fraction] : fractions) {
+      CaseConfig cfg;
+      cfg.label = ds->name + " " + name;
+      cfg.dataset = ds;
+      cfg.cluster = SingleMachineCluster(8);
+      cfg.model = SageConfig(*ds, 32);
+      cfg.opts = PaperDefaults();
+      cfg.opts.cache_bytes_per_device =
+          static_cast<std::int64_t>(fraction * ds->FeatureBytes());
+      PrintCaseRow(RunCase(cfg));
+    }
+  }
+  return 0;
+}

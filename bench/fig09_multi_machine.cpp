@@ -1,0 +1,35 @@
+// Reproduces paper Figure 9: distributed training with 16 GPUs on 4
+// machines (100 Gbps Ethernet between machines), sweeping the hidden
+// dimension. Node features are partitioned across the machines (each
+// machine's CPU holds the features of the partitions its GPUs own).
+//
+// Expected shape: GDP and DNP perform well — GDP never shuffles hidden
+// embeddings across machines and DNP shuffles the fewest; SNP degrades
+// badly relative to its single-machine showing because its (many) hidden
+// embedding shuffles now cross the slow inter-machine network; NFP is worst.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf(
+      "=== Figure 9: epoch time vs hidden dim (GraphSAGE, 4 machines x 4 GPUs) ===\n");
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    PrintTableHeader(ds->name + " hidden");
+    for (std::int64_t hidden : {8, 32, 128, 512}) {
+      CaseConfig cfg;
+      cfg.label = ds->name + " d'=" + std::to_string(hidden);
+      cfg.dataset = ds;
+      cfg.cluster = MultiMachineCluster(4, 4);
+      cfg.model = SageConfig(*ds, hidden);
+      cfg.opts = PaperDefaults();
+      cfg.opts.cache_bytes_per_device = DefaultCacheBytes(*ds);
+      PrintCaseRow(RunCase(cfg));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Figure 11: what happens when no quality graph partition
+// is available — every strategy rerun with a RANDOM node partition instead
+// of the multilevel (METIS-role) edge-cut partition.
+//
+// Expected shape: GDP and NFP are unaffected (neither depends on the
+// partition); SNP and DNP degrade substantially because their cache
+// locality and shuffle volumes rely on a low edge-cut.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Figure 11: multilevel vs random partitioning (GraphSAGE, 8 GPUs) ===\n");
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    PrintTableHeader(ds->name + " partition");
+    for (const bool random : {false, true}) {
+      CaseConfig cfg;
+      cfg.label = ds->name + (random ? " random" : " multilevel");
+      cfg.dataset = ds;
+      cfg.cluster = SingleMachineCluster(8);
+      cfg.model = SageConfig(*ds, 32);
+      cfg.opts = PaperDefaults();
+      cfg.opts.cache_bytes_per_device = DefaultCacheBytes(*ds);
+      RandomPartitioner rnd(17);
+      cfg.partitioner = random ? &rnd : nullptr;
+      PrintCaseRow(RunCase(cfg));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Figure 12: cost-model-estimated vs actual epoch time for
+// GraphSAGE on the FS-like graph (single machine, 8 GPUs).
+//
+// Following the paper's methodology: the cost models estimate the
+// strategy-DEPENDENT terms (T_build + T_load + T_shuffle); the shared
+// computation term T_train is taken from a GDP measurement (GDP performs no
+// hidden-embedding shuffling, so its training phase is pure computation)
+// and added to each strategy's estimate. The paper reports a maximum error
+// of ~5.5%.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  const Dataset& ds = FsLike();
+  std::printf("=== Figure 12: estimated vs actual epoch time (GraphSAGE on %s) ===\n",
+              ds.name.c_str());
+  std::printf("%-10s | %12s | %12s | %8s\n", "strategy", "actual(ms)", "estimated(ms)",
+              "err(%)");
+  std::printf("-------------------------------------------------\n");
+
+  double worst_err = 0.0;
+  for (std::int64_t hidden : {32, 128}) {
+    CaseConfig cfg;
+    cfg.dataset = &ds;
+    cfg.cluster = SingleMachineCluster(8);
+    cfg.model = SageConfig(ds, hidden);
+    cfg.opts = PaperDefaults();
+    cfg.opts.cache_bytes_per_device = DefaultCacheBytes(ds);
+    const CaseResult result = RunCase(cfg);
+
+    // Shared computation term: GDP's measured training phase (no shuffles).
+    const double t_train = result.of(Strategy::kGDP).epoch.train_seconds;
+    // "Actual" is the true simulated wall clock: the stacked per-phase bars
+    // double-count barrier waits for the shuffling strategies.
+    std::printf("--- hidden dim %lld ---\n", static_cast<long long>(hidden));
+    for (Strategy s : kAllStrategies) {
+      const StrategyResult& r = result.of(s);
+      const double actual = r.epoch.wall_seconds;
+      const double estimated = r.estimate.Comparable() + t_train;
+      const double err = 100.0 * std::abs(estimated - actual) / actual;
+      worst_err = std::max(worst_err, err);
+      std::printf("%-10s | %12.3f | %12.3f | %7.1f%%\n", ToString(s), actual * 1e3,
+                  estimated * 1e3, err);
+    }
+  }
+  std::printf("\nmax estimation error: %.1f%% (paper reports 5.5%%)\n", worst_err);
+  return 0;
+}

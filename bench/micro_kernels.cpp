@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the numeric substrate: GEMM,
+// SpMM/SDDMM/segment-softmax kernels, and the neighbor sampler.
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "graph/generators.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+
+namespace apt {
+namespace {
+
+Tensor RandTensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Tensor t(r, c);
+  Rng rng(seed);
+  UniformInit(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Tensor a = RandTensor(n, n, 1);
+  const Tensor b = RandTensor(n, n, 2);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    Matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTallSkinny(benchmark::State& state) {
+  // The engine's dominant shape: many rows x feature dim x hidden dim.
+  const std::int64_t rows = state.range(0);
+  const Tensor a = RandTensor(rows, 128, 3);
+  const Tensor b = RandTensor(128, 32, 4);
+  Tensor c(rows, 32);
+  for (auto _ : state) {
+    Matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * 128 * 32);
+}
+BENCHMARK(BM_MatmulTallSkinny)->Arg(1024)->Arg(8192);
+
+struct SpmmFixture {
+  std::vector<std::int64_t> indptr;
+  std::vector<std::int64_t> col;
+  Tensor src;
+
+  explicit SpmmFixture(std::int64_t num_dst, int fanout, std::int64_t dim) {
+    Rng rng(5);
+    indptr.push_back(0);
+    const std::int64_t num_src = num_dst * 4;
+    for (std::int64_t d = 0; d < num_dst; ++d) {
+      for (int f = 0; f < fanout; ++f) {
+        col.push_back(static_cast<std::int64_t>(
+            rng.NextBelow(static_cast<std::uint64_t>(num_src))));
+      }
+      indptr.push_back(static_cast<std::int64_t>(col.size()));
+    }
+    src = RandTensor(num_src, dim, 6);
+  }
+  CsrView csr() const { return {indptr, col}; }
+};
+
+void BM_SpmmMean(benchmark::State& state) {
+  SpmmFixture f(state.range(0), 10, 64);
+  Tensor out(state.range(0), 64);
+  for (auto _ : state) {
+    SpmmMean(f.csr(), f.src, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csr().num_edges() * 64);
+}
+BENCHMARK(BM_SpmmMean)->Arg(1024)->Arg(8192);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  SpmmFixture f(state.range(0), 10, 1);
+  std::vector<float> score(static_cast<std::size_t>(f.csr().num_edges()));
+  Rng rng(7);
+  for (auto& s : score) s = rng.NextUniform(-2.0f, 2.0f);
+  std::vector<float> out(score.size());
+  for (auto _ : state) {
+    SegmentSoftmax(f.csr(), score, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csr().num_edges());
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(8192);
+
+void BM_NeighborSampling(benchmark::State& state) {
+  static const CsrGraph graph = [] {
+    ZipfCommunityParams p;
+    p.num_nodes = 20000;
+    p.num_edges = 300000;
+    p.zipf_exponent = 0.8;
+    return ZipfCommunityGraph(p);
+  }();
+  NeighborSampler sampler(graph, {10, 10, 10});
+  Rng rng(8);
+  std::vector<NodeId> seeds(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : seeds) {
+    s = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(graph.num_nodes())));
+  }
+  for (auto _ : state) {
+    const SampledBatch batch = sampler.Sample(seeds, rng);
+    benchmark::DoNotOptimize(batch.blocks.front().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NeighborSampling)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace apt
+
+BENCHMARK_MAIN();

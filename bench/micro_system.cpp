@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the system layers: the multilevel
+// partitioner, the simulated collectives, and the dry-run planner itself
+// (the paper's "strategy selection must be fast" requirement).
+#include <benchmark/benchmark.h>
+
+#include "apt/planner.h"
+#include "core/logging.h"
+#include "comm/collectives.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace apt {
+namespace {
+
+const CsrGraph& BenchGraph() {
+  static const CsrGraph g = [] {
+    ZipfCommunityParams p;
+    p.num_nodes = 20000;
+    p.num_edges = 200000;
+    p.num_communities = 8;
+    return ZipfCommunityGraph(p);
+  }();
+  return g;
+}
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const CsrGraph& g = BenchGraph();
+  for (auto _ : state) {
+    MultilevelPartitioner ml;
+    benchmark::DoNotOptimize(ml.Partition(g, static_cast<PartId>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_AllToAllTensors(benchmark::State& state) {
+  const std::int32_t c = 8;
+  SimContext sim(SingleMachineCluster(c));
+  Communicator comm(sim);
+  std::vector<std::vector<Tensor>> parts(static_cast<std::size_t>(c));
+  for (auto& row : parts) {
+    for (std::int32_t j = 0; j < c; ++j) {
+      row.emplace_back(state.range(0), 32);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm.AllToAllTensors(parts, Phase::kTrain));
+  }
+  state.SetBytesProcessed(state.iterations() * c * c * state.range(0) * 32 * 4);
+}
+BENCHMARK(BM_AllToAllTensors)->Arg(256)->Arg(2048);
+
+void BM_AllReduce(benchmark::State& state) {
+  const std::int32_t c = 8;
+  SimContext sim(SingleMachineCluster(c));
+  Communicator comm(sim);
+  std::vector<Tensor> bufs(static_cast<std::size_t>(c),
+                           Tensor(state.range(0), 32));
+  for (auto _ : state) {
+    std::vector<Tensor*> ptrs;
+    for (auto& b : bufs) ptrs.push_back(&b);
+    comm.AllReduceSum(ptrs, Phase::kTrain);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 32 * 4);
+}
+BENCHMARK(BM_AllReduce)->Arg(1024)->Arg(8192);
+
+void BM_DryRunPlanner(benchmark::State& state) {
+  static const Dataset ds = MakeDataset(PsLikeParams(0.1));
+  const ClusterSpec cluster = SingleMachineCluster(8);
+  ModelConfig model;
+  model.kind = ModelKind::kSage;
+  model.num_layers = 3;
+  model.hidden_dim = 32;
+  model.input_dim = ds.feature_dim();
+  model.num_classes = ds.num_classes;
+  EngineOptions opts;
+  opts.fanouts = {10, 10, 10};
+  opts.batch_size_per_device = 128;
+  opts.cache_bytes_per_device = ds.FeatureBytes() / 12;
+  MultilevelPartitioner ml;
+  const std::vector<PartId> partition = ml.Partition(ds.graph, 8);
+  SetLogLevel(LogLevel::kWarn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakePlan(ds, cluster, partition, opts, model));
+  }
+}
+BENCHMARK(BM_DryRunPlanner)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace apt
+
+BENCHMARK_MAIN();

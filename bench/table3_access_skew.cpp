@@ -1,0 +1,46 @@
+// Reproduces paper Table 3: node-access skew under fanout-[10,10,10]
+// neighbor sampling. Nodes are ranked by access frequency; each row reports
+// the share of all input-feature accesses carried by that rank bucket.
+//
+// Expected shape (paper): PS is extremely head-heavy (top 1% of nodes take
+// ~50% of accesses), FS is the most scattered (large tail shares), IM sits
+// between them.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/stats.h"
+#include "sampling/frequency.h"
+#include "sampling/minibatch.h"
+#include "sampling/neighbor_sampler.h"
+
+int main() {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+  std::printf("=== Table 3: node access skew (fanout [10,10,10]) ===\n");
+  std::printf("%-10s | %8s %8s %8s %8s %8s %8s\n", "rank", "<1%", "1~5%", "5~10%",
+              "10~20%", "20~50%", "50~100%");
+  std::printf("-----------------------------------------------------------------\n");
+  for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
+    NeighborSampler sampler(ds->graph, {10, 10, 10});
+    MinibatchPlan plan(ds->train_nodes, 128, 8);
+    FrequencyCollector freq(ds->graph.num_nodes());
+    const auto seeds = plan.EpochSeeds(0);
+    Rng rng(42);
+    for (std::int64_t step = 0; step < plan.StepsPerEpoch(); ++step) {
+      const auto step_seeds = plan.StepSeeds(seeds, step);
+      freq.Record(sampler.Sample(step_seeds, rng));
+    }
+    const auto buckets = ComputeAccessSkew(freq.counts());
+    std::printf("%-10s |", ds->name.c_str());
+    for (const SkewBucket& b : buckets) {
+      std::printf(" %7.1f%%", 100.0 * b.access_share);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper Table 3 reference: PS 50.1/34.8/8.8/4.7/1.7/0.0  "
+      "FS 17.7/29.4/19.1/18.8/13.5/1.6  IM 31.1/39.0/19.7/9.3/0.9/0.0\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: training an attention-based model (GAT) and watching APT avoid
+// the strategies that pay an attention-communication penalty (paper §5.3).
+//
+//   ./examples/gat_attention
+#include <cstdio>
+
+#include "core/logging.h"
+
+#include "apt/apt_system.h"
+#include "graph/dataset.h"
+
+int main() {
+  using namespace apt;
+  SetLogLevel(LogLevel::kWarn);
+
+  Dataset dataset = MakeDataset(PsLikeParams(/*scale=*/0.2));
+  const ClusterSpec cluster = SingleMachineCluster(8);
+
+  ModelConfig model;
+  model.kind = ModelKind::kGat;
+  model.num_layers = 3;
+  model.hidden_dim = 8;
+  model.gat_heads = 4;
+
+  EngineOptions opts;
+  opts.fanouts = {10, 10, 10};
+  opts.batch_size_per_device = 128;
+  opts.cache_bytes_per_device = dataset.FeatureBytes() / 12;
+
+  AptSystem system(dataset, cluster, model, opts);
+  const PlanReport& plan = system.Plan();
+  std::printf("GAT (4 heads, hidden 8) on %s:\n", dataset.name.c_str());
+  for (const CostEstimate& e : plan.estimates) {
+    std::printf("  %s\n", FormatEstimate(e).c_str());
+  }
+  std::printf(
+      "APT selects %s. With attention, each destination needs a complete view\n"
+      "of its sources before the softmax, so SNP must ship projected source\n"
+      "embeddings and NFP must allreduce projections for every layer-1 source;\n"
+      "GDP and DNP see all sources locally and pay nothing extra.\n\n",
+      ToString(plan.selected));
+
+  auto trainer = system.MakeTrainer(plan.selected);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const EpochStats s = trainer->TrainEpoch(epoch);
+    std::printf("epoch %d: loss %.4f train-acc %.3f | %.2fms simulated\n", epoch,
+                s.loss, s.train_accuracy, s.sim_seconds * 1e3);
+  }
+  std::printf("test accuracy: %.3f\n",
+              trainer->EvaluateAccuracy(dataset.test_nodes));
+  return 0;
+}

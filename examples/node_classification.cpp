@@ -1,0 +1,65 @@
+// Example: full node-classification training runs comparing all four
+// parallelization strategies by hand (without APT's automatic selection),
+// on the Friendster-like graph — the paper intro's motivating workload
+// where the winner depends on the hidden dimension.
+//
+//   ./examples/node_classification [hidden_dim]
+#include <cstdio>
+
+#include "core/logging.h"
+#include <cstdlib>
+
+#include "apt/adapter.h"
+#include "apt/planner.h"
+#include "engine/trainer.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace apt;
+  SetLogLevel(LogLevel::kWarn);
+  const std::int64_t hidden = argc > 1 ? std::atoll(argv[1]) : 32;
+
+  Dataset dataset = MakeDataset(FsLikeParams(/*scale=*/0.2));
+  const ClusterSpec cluster = SingleMachineCluster(8);
+
+  ModelConfig model;
+  model.kind = ModelKind::kSage;
+  model.num_layers = 3;
+  model.hidden_dim = hidden;
+  model.input_dim = dataset.feature_dim();
+  model.num_classes = dataset.num_classes;
+
+  EngineOptions opts;
+  opts.fanouts = {10, 10, 10};
+  opts.batch_size_per_device = 128;
+  opts.cache_bytes_per_device = dataset.FeatureBytes() / 12;
+
+  // Prepare: partition once; Plan: one dry-run shared by every strategy.
+  MultilevelPartitioner partitioner;
+  const std::vector<PartId> partition =
+      partitioner.Partition(dataset.graph, cluster.num_devices());
+  const PlanReport plan = MakePlan(dataset, cluster, partition, opts, model);
+
+  std::printf("GraphSAGE d'=%lld on %s, 8 simulated GPUs\n",
+              static_cast<long long>(hidden), dataset.name.c_str());
+  std::printf("planner would select: %s\n\n", ToString(plan.selected));
+  std::printf("%-6s %12s %12s %12s %10s\n", "strat", "epoch(ms)", "final loss",
+              "test acc", "planner?");
+
+  for (Strategy s : kAllStrategies) {
+    ParallelTrainer trainer(
+        dataset, BuildTrainerSetup(cluster, model, opts, partition, plan.dryrun, s));
+    EpochStats last{};
+    for (int epoch = 0; epoch < 5; ++epoch) last = trainer.TrainEpoch(epoch);
+    const double acc = trainer.EvaluateAccuracy(dataset.test_nodes);
+    std::printf("%-6s %12.2f %12.4f %12.3f %10s\n", ToString(s),
+                last.sim_seconds * 1e3, last.loss, acc,
+                s == plan.selected ? "<== APT" : "");
+  }
+  std::printf(
+      "\nAll four strategies reach the same accuracy (they are semantically\n"
+      "equivalent); only the simulated epoch time differs. Re-run with a\n"
+      "different hidden dim (e.g. 8 or 512) to see the winner change.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "apt/adapter.h"
+
+namespace apt {
+
+TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& model,
+                               const EngineOptions& base_opts,
+                               const std::vector<PartId>& partition,
+                               const DryRunResult& dryrun, Strategy strategy) {
+  TrainerSetup setup;
+  setup.cluster = cluster;
+  setup.model = model;
+  setup.engine = base_opts;
+  setup.engine.strategy = strategy;
+  setup.engine.seed_assignment = EngineOptions::DefaultAssignment(strategy);
+  setup.partition = partition;
+  setup.cache = dryrun.caches[static_cast<std::size_t>(strategy)];
+  setup.feature_placement = FeaturePlacementFromPartition(partition, cluster);
+  return setup;
+}
+
+}  // namespace apt

@@ -1,0 +1,18 @@
+// Adapter: configures the unified execution engine for a chosen strategy
+// (paper's "Adapt" stage) — seed assignment, cache layout, feature
+// placement, and the communication operators implied by the strategy.
+#pragma once
+
+#include "apt/planner.h"
+#include "engine/trainer.h"
+
+namespace apt {
+
+/// Builds a ready-to-run TrainerSetup for `strategy`, reusing the dry-run's
+/// cache configuration (the global feature map of §4.2).
+TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& model,
+                               const EngineOptions& base_opts,
+                               const std::vector<PartId>& partition,
+                               const DryRunResult& dryrun, Strategy strategy);
+
+}  // namespace apt

@@ -1,0 +1,51 @@
+#include "apt/apt_system.h"
+
+#include "core/logging.h"
+
+namespace apt {
+
+AptSystem::AptSystem(const Dataset& dataset, ClusterSpec cluster, ModelConfig model,
+                     EngineOptions opts, Partitioner* partitioner)
+    : dataset_(&dataset),
+      cluster_(std::move(cluster)),
+      model_(model),
+      opts_(opts) {
+  if (model_.input_dim == 0) model_.input_dim = dataset.feature_dim();
+  if (model_.num_classes == 0) model_.num_classes = dataset.num_classes;
+  if (partitioner != nullptr) {
+    partition_ = partitioner->Partition(dataset.graph, cluster_.num_devices());
+  } else {
+    MultilevelPartitioner ml;
+    partition_ = ml.Partition(dataset.graph, cluster_.num_devices());
+  }
+}
+
+const PlanReport& AptSystem::Plan() {
+  if (!planned_) {
+    report_ = MakePlan(*dataset_, cluster_, partition_, opts_, model_);
+    planned_ = true;
+  }
+  return report_;
+}
+
+std::unique_ptr<ParallelTrainer> AptSystem::MakeTrainer(Strategy strategy) {
+  Plan();
+  TrainerSetup setup = BuildTrainerSetup(cluster_, model_, opts_, partition_,
+                                         report_.dryrun, strategy);
+  return std::make_unique<ParallelTrainer>(*dataset_, std::move(setup));
+}
+
+std::vector<EpochStats> AptSystem::Run(int epochs) {
+  Plan();
+  auto trainer = MakeTrainer(report_.selected);
+  std::vector<EpochStats> stats;
+  stats.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) {
+    stats.push_back(trainer->TrainEpoch(e));
+    APT_LOG_DEBUG << "epoch " << e << " loss " << stats.back().loss << " sim "
+                  << stats.back().sim_seconds << "s";
+  }
+  return stats;
+}
+
+}  // namespace apt

@@ -1,0 +1,52 @@
+// AptSystem: the user-facing facade implementing the paper's workflow —
+// Prepare (partition + bandwidth trials) -> Plan (dry-run + cost models) ->
+// Adapt (engine/cache configuration) -> Run (DDP training).
+//
+//   apt::AptSystem system(dataset, cluster, model_cfg, engine_opts);
+//   apt::PlanReport plan = system.Plan();
+//   auto trainer = system.MakeTrainer(plan.selected);
+//   for (int e = 0; e < epochs; ++e) trainer->TrainEpoch(e);
+#pragma once
+
+#include <memory>
+
+#include "apt/adapter.h"
+#include "apt/planner.h"
+#include "engine/trainer.h"
+#include "partition/partitioner.h"
+
+namespace apt {
+
+class AptSystem {
+ public:
+  /// Prepare: partitions the graph (multilevel edge-cut by default) and
+  /// stores the task description. Pass a custom partitioner to reproduce
+  /// e.g. the random-partition ablation (Fig 11).
+  AptSystem(const Dataset& dataset, ClusterSpec cluster, ModelConfig model,
+            EngineOptions opts, Partitioner* partitioner = nullptr);
+
+  /// Plan: dry-run + cost models; caches the report.
+  const PlanReport& Plan();
+
+  /// Adapt + Run scaffolding: a trainer configured for `strategy`
+  /// (call Plan() first; the dry-run cache layout is reused).
+  std::unique_ptr<ParallelTrainer> MakeTrainer(Strategy strategy);
+
+  /// Convenience: Plan + train `epochs` epochs with the selected strategy.
+  /// Returns the per-epoch stats.
+  std::vector<EpochStats> Run(int epochs);
+
+  const std::vector<PartId>& partition() const { return partition_; }
+  bool planned() const { return planned_; }
+
+ private:
+  const Dataset* dataset_;
+  ClusterSpec cluster_;
+  ModelConfig model_;
+  EngineOptions opts_;
+  std::vector<PartId> partition_;
+  PlanReport report_;
+  bool planned_ = false;
+};
+
+}  // namespace apt

@@ -1,0 +1,34 @@
+#include "apt/cost_model.h"
+
+#include <sstream>
+
+namespace apt {
+
+CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun) {
+  const StrategyDryRun& st = dryrun.per_strategy[static_cast<std::size_t>(strategy)];
+  CostEstimate e;
+  e.strategy = strategy;
+  e.t_build = st.sample_seconds + st.graph_shuffle_seconds;
+  e.t_load = st.load_seconds;
+  e.t_shuffle = st.shuffle_seconds;
+  e.feasible = st.fits_memory;
+  return e;
+}
+
+std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun) {
+  std::array<CostEstimate, kNumStrategies> out;
+  for (Strategy s : kAllStrategies) {
+    out[static_cast<std::size_t>(s)] = EstimateCost(s, dryrun);
+  }
+  return out;
+}
+
+std::string FormatEstimate(const CostEstimate& e) {
+  std::ostringstream os;
+  os << ToString(e.strategy) << ": build=" << e.t_build << "s load=" << e.t_load
+     << "s shuffle=" << e.t_shuffle << "s (comparable " << e.Comparable() << "s)"
+     << (e.feasible ? "" : " [OOM]");
+  return os.str();
+}
+
+}  // namespace apt

@@ -1,0 +1,37 @@
+// Cost models for strategy selection (paper §3.2).
+//
+//   T = T_build + T_load + T_shuffle + T_train
+//
+// T_train is identical across the (semantically equivalent) strategies, so
+// only the first three terms are compared. All three come from dry-run
+// volumes divided by profiled operator bandwidths (see apt/dryrun.h).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "apt/dryrun.h"
+#include "core/types.h"
+
+namespace apt {
+
+struct CostEstimate {
+  Strategy strategy = Strategy::kGDP;
+  double t_build = 0.0;    ///< sampling + computation-graph shuffles
+  double t_load = 0.0;     ///< feature loading over the memory hierarchy
+  double t_shuffle = 0.0;  ///< hidden-embedding (and gradient) shuffles
+  bool feasible = true;    ///< fits device memory
+
+  /// The strategy-dependent part of the epoch time.
+  double Comparable() const { return t_build + t_load + t_shuffle; }
+};
+
+/// Builds the estimate for one strategy from its dry-run measurements.
+CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun);
+
+/// Estimates for all strategies, in Strategy enum order.
+std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun);
+
+std::string FormatEstimate(const CostEstimate& e);
+
+}  // namespace apt

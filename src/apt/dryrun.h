@@ -1,0 +1,65 @@
+// Dry-run: the data-dependent half of APT's "Plan" stage (paper §3.2).
+//
+// One epoch of graph sampling is performed per seed-assignment family and
+// the samples are routed through each strategy's Permute logic WITHOUT
+// loading features, shuffling embeddings, or computing — only volumes are
+// collected:
+//   * node access frequencies (drives the cache configuration),
+//   * computation-graph shuffle bytes (the strategy part of T_build),
+//   * per-device feature-load volumes by memory tier (T_load),
+//   * hidden-embedding shuffle rows/bytes (T_shuffle),
+//   * estimated transient memory (feasibility, e.g. NFP+GAT OOM).
+//
+// Sampling passes are deterministic (Rng-seeded), so the subsequent cache
+// tier classification replays exactly the samples used for counting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/profiler.h"
+#include "core/types.h"
+#include "engine/engine_types.h"
+#include "feature/cache_policy.h"
+#include "feature/feature_store.h"
+#include "graph/dataset.h"
+#include "model/gnn_model.h"
+#include "sim/hardware.h"
+
+namespace apt {
+
+/// Per-strategy dry-run measurements for one epoch.
+struct StrategyDryRun {
+  double sample_seconds = 0.0;         ///< graph sampling (max over devices)
+  std::int64_t graph_shuffle_bytes = 0;  ///< computation-graph wire bytes
+  double graph_shuffle_seconds = 0.0;
+  std::vector<LoadVolume> load;        ///< per device
+  double load_seconds = 0.0;           ///< max over devices
+  std::int64_t shuffle_rows = 0;       ///< hidden-embedding rows moved (epoch)
+  std::int64_t shuffle_bytes = 0;      ///< incl. fwd + bwd (2x d' per row)
+  double shuffle_seconds = 0.0;
+  std::int64_t peak_transient_bytes = 0;  ///< max over devices, per step
+  bool fits_memory = true;
+
+  double ComparableSeconds() const {
+    return sample_seconds + graph_shuffle_seconds + load_seconds + shuffle_seconds;
+  }
+};
+
+struct DryRunResult {
+  std::vector<std::int64_t> hotness;  ///< global access counts per node
+  std::array<StrategyDryRun, kNumStrategies> per_strategy;
+  std::array<CacheConfig, kNumStrategies> caches;
+  CommProfile profile;
+  double wall_seconds = 0.0;  ///< host time spent on the dry-run itself
+};
+
+DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
+                    const std::vector<PartId>& partition, const EngineOptions& opts,
+                    const ModelConfig& model);
+
+/// Output dimension of the first (distributed) layer for the cost model.
+std::int64_t Layer0OutDim(const ModelConfig& model);
+
+}  // namespace apt

@@ -1,0 +1,36 @@
+#include "apt/planner.h"
+
+#include "core/logging.h"
+
+namespace apt {
+
+PlanReport MakePlan(const Dataset& dataset, const ClusterSpec& cluster,
+                    const std::vector<PartId>& partition, const EngineOptions& opts,
+                    const ModelConfig& model) {
+  PlanReport report;
+  report.dryrun = DryRun(dataset, cluster, partition, opts, model);
+  report.estimates = EstimateAll(report.dryrun);
+
+  bool found = false;
+  double best = 0.0;
+  for (const CostEstimate& e : report.estimates) {
+    if (!e.feasible) continue;
+    if (!found || e.Comparable() < best) {
+      best = e.Comparable();
+      report.selected = e.strategy;
+      found = true;
+    }
+  }
+  if (!found) {
+    APT_LOG_WARN << "all strategies exceed device memory estimates; defaulting to GDP";
+    report.selected = Strategy::kGDP;
+  }
+  for (const CostEstimate& e : report.estimates) {
+    APT_LOG_DEBUG << "plan: " << FormatEstimate(e);
+  }
+  APT_LOG_INFO << "planner selected " << ToString(report.selected) << " (dry-run "
+               << report.dryrun.wall_seconds << "s host time)";
+  return report;
+}
+
+}  // namespace apt

@@ -1,0 +1,23 @@
+// Planner: runs the dry-run and the cost models, selects the strategy.
+#pragma once
+
+#include <array>
+
+#include "apt/cost_model.h"
+#include "apt/dryrun.h"
+
+namespace apt {
+
+struct PlanReport {
+  DryRunResult dryrun;
+  std::array<CostEstimate, kNumStrategies> estimates;
+  Strategy selected = Strategy::kGDP;
+};
+
+/// Selects the feasible strategy with the smallest comparable cost
+/// (falls back to GDP — always feasible — if everything is marked OOM).
+PlanReport MakePlan(const Dataset& dataset, const ClusterSpec& cluster,
+                    const std::vector<PartId>& partition, const EngineOptions& opts,
+                    const ModelConfig& model);
+
+}  // namespace apt

@@ -1,0 +1,137 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace apt {
+
+std::vector<std::vector<Tensor>> Communicator::AllToAllTensors(
+    const std::vector<std::vector<Tensor>>& parts, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(parts.size(), c);
+  std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+  std::vector<std::vector<Tensor>> recv(c, std::vector<Tensor>(c));
+  for (std::size_t i = 0; i < c; ++i) {
+    APT_CHECK_EQ(parts[i].size(), c);
+    for (std::size_t j = 0; j < c; ++j) {
+      bytes[i][j] = parts[i][j].bytes();
+      recv[j][i] = parts[i][j];
+    }
+  }
+  ChargeAllToAll(bytes, phase);
+  return recv;
+}
+
+void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(tensors.size(), c);
+  if (c == 0) return;
+  Tensor sum = *tensors[0];
+  for (std::size_t i = 1; i < c; ++i) {
+    APT_CHECK(tensors[i]->SameShape(sum))
+        << "allreduce shape mismatch on device " << i;
+    Axpy(1.0f, *tensors[i], sum);
+  }
+  for (std::size_t i = 0; i < c; ++i) *tensors[i] = sum;
+  // Ring allreduce moves 2 * (C-1)/C * bytes per device.
+  ChargeRing(sum.bytes(), /*factor=*/2.0, phase);
+}
+
+std::vector<Tensor> Communicator::AllBroadcastTensors(const std::vector<Tensor>& inputs,
+                                                      Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(inputs.size(), c);
+  std::int64_t total = 0;
+  for (const auto& t : inputs) total += t.bytes();
+  ChargeRing(total, /*factor=*/1.0, phase);
+  return inputs;
+}
+
+void Communicator::GroupReduce(
+    const std::vector<std::vector<Tensor>>& parts,
+    const std::vector<std::vector<std::vector<std::int64_t>>>& index,
+    std::vector<Tensor*> out, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(parts.size(), c);
+  APT_CHECK_EQ(index.size(), c);
+  APT_CHECK_EQ(out.size(), c);
+  std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+  for (std::size_t i = 0; i < c; ++i) {
+    APT_CHECK_EQ(parts[i].size(), c);
+    APT_CHECK_EQ(index[i].size(), c);
+    for (std::size_t j = 0; j < c; ++j) {
+      const Tensor& p = parts[i][j];
+      APT_CHECK_EQ(p.rows(), static_cast<std::int64_t>(index[i][j].size()));
+      if (p.rows() > 0) {
+        APT_CHECK(out[j] != nullptr);
+        ScatterAddRows(p, index[i][j], *out[j]);
+      }
+      if (i != j) bytes[i][j] = p.bytes();  // local partials are free
+    }
+  }
+  ChargeAllToAll(bytes, phase);
+}
+
+LinkSpec Communicator::RingBottleneck() const {
+  const ClusterSpec& cluster = ctx_->cluster();
+  LinkSpec bottleneck{};
+  bool first = true;
+  const std::int32_t c = num_devices();
+  for (DeviceId d = 0; d < c; ++d) {
+    const LinkSpec link = cluster.LinkBetween(d, (d + 1) % c);
+    if (first || link.bandwidth_bytes_per_s < bottleneck.bandwidth_bytes_per_s) {
+      bottleneck = link;
+      first = false;
+    }
+  }
+  return bottleneck;
+}
+
+void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
+                                  Phase phase) {
+  const ClusterSpec& cluster = ctx_->cluster();
+  const auto c = static_cast<std::size_t>(num_devices());
+  for (std::size_t i = 0; i < c; ++i) {
+    // Egress of i and ingress of i are serialized on i's adapters; the
+    // device is busy for the larger of the two.
+    double egress = 0.0, ingress = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      if (i == j) continue;
+      const auto di = static_cast<DeviceId>(i);
+      const auto dj = static_cast<DeviceId>(j);
+      if (bytes[i][j] > 0) {
+        egress += cluster.LinkBetween(di, dj).TransferSeconds(bytes[i][j]);
+        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j]);
+      }
+      if (bytes[j][i] > 0) {
+        ingress += cluster.LinkBetween(dj, di).TransferSeconds(bytes[j][i]);
+      }
+    }
+    ctx_->Advance(static_cast<DeviceId>(i), std::max(egress, ingress), phase);
+  }
+  ctx_->BarrierAll(phase);
+}
+
+void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase phase) {
+  const std::int32_t c = num_devices();
+  if (c <= 1 || total_bytes <= 0) {
+    ctx_->BarrierAll(phase);
+    return;
+  }
+  const LinkSpec bottleneck = RingBottleneck();
+  const double volume = factor * static_cast<double>(c - 1) / c *
+                        static_cast<double>(total_bytes);
+  const double t = static_cast<double>(c - 1) * bottleneck.latency_s +
+                   volume / bottleneck.bandwidth_bytes_per_s;
+  // Every device is busy for the whole ring schedule.
+  for (DeviceId d = 0; d < c; ++d) ctx_->Advance(d, t, phase);
+  // Traffic accounting: each byte crosses C-1 hops in a ring; classify by the
+  // bottleneck hop for reporting purposes.
+  const bool cross = ctx_->cluster().num_machines() > 1;
+  ctx_->CountTraffic(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu,
+                     static_cast<std::int64_t>(volume));
+  ctx_->BarrierAll(phase);
+}
+
+}  // namespace apt

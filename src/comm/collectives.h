@@ -1,0 +1,163 @@
+// Collective communication over simulated devices.
+//
+// The communicator plays NCCL's role: collectives move real bytes between
+// per-device host buffers (so downstream computation is exact) and charge
+// simulated time on each participant's virtual clock via the cluster's link
+// model. All collectives are group-wide and blocking: participants leave at
+// the same simulated instant (SimContext::BarrierAll).
+//
+// Cost model per collective (documented per function):
+//   * point-to-point batches (AllToAll): each device serializes its egress
+//     and ingress on its own link; the collective completes at the slowest.
+//   * ring collectives (AllReduce, AllGather): classic 2(C-1)/C and
+//     (C-1)/C volume terms over the bottleneck link of the ring.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/sim_context.h"
+#include "tensor/tensor.h"
+
+namespace apt {
+
+class Communicator {
+ public:
+  /// The communicator charges time to `ctx`'s clocks; `phase` attribution is
+  /// chosen per call (subgraph shuffles -> kSample, embedding shuffles ->
+  /// kTrain).
+  explicit Communicator(SimContext& ctx) : ctx_(&ctx) {}
+
+  std::int32_t num_devices() const { return ctx_->num_devices(); }
+
+  // ------------------------------------------------------------------
+  // AllToAll of raw element vectors (computation-graph shuffles).
+  // sends[i][j] = payload from device i to device j (i==j is a free local
+  // copy). Returns recv where recv[j][i] = sends[i][j].
+  // ------------------------------------------------------------------
+  template <typename T>
+  std::vector<std::vector<std::vector<T>>> AllToAllVec(
+      const std::vector<std::vector<std::vector<T>>>& sends, Phase phase) {
+    const auto c = static_cast<std::size_t>(num_devices());
+    APT_CHECK_EQ(sends.size(), c);
+    std::vector<std::vector<std::vector<T>>> recv(
+        c, std::vector<std::vector<T>>(c));
+    std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+    for (std::size_t i = 0; i < c; ++i) {
+      APT_CHECK_EQ(sends[i].size(), c);
+      for (std::size_t j = 0; j < c; ++j) {
+        recv[j][i] = sends[i][j];
+        bytes[i][j] = static_cast<std::int64_t>(sends[i][j].size() * sizeof(T));
+      }
+    }
+    ChargeAllToAll(bytes, phase);
+    return recv;
+  }
+
+  // ------------------------------------------------------------------
+  // AllToAll of arbitrary message objects. sends[i][j] is the message from
+  // device i to device j; `bytes_fn(msg)` must return the serialized size so
+  // the link model charges the true wire cost. Used for shuffling sampled
+  // subgraphs / virtual-node records without a serialization round-trip.
+  // ------------------------------------------------------------------
+  template <typename T, typename BytesFn>
+  std::vector<std::vector<T>> AllToAllObjects(std::vector<std::vector<T>> sends,
+                                              const BytesFn& bytes_fn, Phase phase) {
+    const auto c = static_cast<std::size_t>(num_devices());
+    APT_CHECK_EQ(sends.size(), c);
+    std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+    for (std::size_t i = 0; i < c; ++i) {
+      APT_CHECK_EQ(sends[i].size(), c);
+      for (std::size_t j = 0; j < c; ++j) {
+        bytes[i][j] = i == j ? 0 : static_cast<std::int64_t>(bytes_fn(sends[i][j]));
+      }
+    }
+    std::vector<std::vector<T>> recv(c);
+    for (std::size_t j = 0; j < c; ++j) {
+      recv[j].resize(c);
+      for (std::size_t i = 0; i < c; ++i) recv[j][i] = std::move(sends[i][j]);
+    }
+    ChargeAllToAll(bytes, phase);
+    return recv;
+  }
+
+  // ------------------------------------------------------------------
+  // AllBroadcast of arbitrary objects (every device receives every input).
+  // ------------------------------------------------------------------
+  template <typename T, typename BytesFn>
+  std::vector<T> AllBroadcastObjects(std::vector<T> inputs, const BytesFn& bytes_fn,
+                                     Phase phase) {
+    const auto c = static_cast<std::size_t>(num_devices());
+    APT_CHECK_EQ(inputs.size(), c);
+    std::int64_t total = 0;
+    for (const T& v : inputs) total += static_cast<std::int64_t>(bytes_fn(v));
+    ChargeRing(total, /*factor=*/1.0, phase);
+    return inputs;
+  }
+
+  // ------------------------------------------------------------------
+  // AllToAll of tensor rows: parts[i][j] = rows device i sends to device j.
+  // Returns recv[j][i]. Empty tensors are free (sparse all-to-all).
+  // ------------------------------------------------------------------
+  std::vector<std::vector<Tensor>> AllToAllTensors(
+      const std::vector<std::vector<Tensor>>& parts, Phase phase);
+
+  // ------------------------------------------------------------------
+  // Ring AllReduce (sum): every device contributes a same-shape tensor and
+  // receives the elementwise sum. Used for DDP gradient sync and NFP's
+  // SparseAllreduce of partial embeddings.
+  // ------------------------------------------------------------------
+  void AllReduceSum(std::vector<Tensor*> tensors, Phase phase);
+
+  // ------------------------------------------------------------------
+  // AllBroadcast (allgather): device i contributes payload i; every device
+  // receives all payloads. Used by NFP to broadcast layer-1 computation
+  // graphs. Returns gathered[j] == inputs (same for every receiver j).
+  // ------------------------------------------------------------------
+  template <typename T>
+  std::vector<std::vector<T>> AllBroadcastVec(
+      const std::vector<std::vector<T>>& inputs, Phase phase) {
+    const auto c = static_cast<std::size_t>(num_devices());
+    APT_CHECK_EQ(inputs.size(), c);
+    std::int64_t total_bytes = 0;
+    for (const auto& v : inputs) {
+      total_bytes += static_cast<std::int64_t>(v.size() * sizeof(T));
+    }
+    ChargeRing(total_bytes, /*factor=*/1.0, phase);
+    std::vector<std::vector<T>> out = inputs;
+    return out;
+  }
+
+  /// Tensor flavor of AllBroadcast; receiver sees the senders' tensors.
+  std::vector<Tensor> AllBroadcastTensors(const std::vector<Tensor>& inputs,
+                                          Phase phase);
+
+  // ------------------------------------------------------------------
+  // GroupReduce: device i holds `parts[i][j]` = partial rows destined for
+  // device j plus `index[i][j]` = target row on j for each partial row.
+  // Each destination j receives all partials and accumulates them into
+  // `out[j]` (out[j].row(index[i][j][r]) += parts[i][j].row(r)).
+  // Used by SNP to merge virtual-node partial embeddings.
+  // ------------------------------------------------------------------
+  void GroupReduce(const std::vector<std::vector<Tensor>>& parts,
+                   const std::vector<std::vector<std::vector<std::int64_t>>>& index,
+                   std::vector<Tensor*> out, Phase phase);
+
+  /// Bottleneck link of a ring over all devices (the slowest hop).
+  LinkSpec RingBottleneck() const;
+
+  SimContext& ctx() { return *ctx_; }
+
+ private:
+  /// Per-device serialized egress/ingress model; barrier at the end.
+  void ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes, Phase phase);
+  /// Ring collective: time = latency_terms + factor * (C-1)/C * total_bytes / bw.
+  void ChargeRing(std::int64_t total_bytes, double factor, Phase phase);
+
+  SimContext* ctx_;
+};
+
+}  // namespace apt

@@ -1,0 +1,74 @@
+#include "comm/profiler.h"
+
+#include <vector>
+
+#include "comm/collectives.h"
+#include "sim/sim_context.h"
+#include "tensor/tensor.h"
+
+namespace apt {
+
+CommProfile ProfileCommunication(const ClusterSpec& cluster, std::int64_t trial_bytes) {
+  CommProfile profile;
+  const std::int32_t c = cluster.num_devices();
+  const std::int64_t cols = 64;
+  const std::int64_t rows =
+      std::max<std::int64_t>(1, trial_bytes / (cols * static_cast<std::int64_t>(sizeof(float))));
+
+  // --- AllToAll: every device sends rows/C to every peer. -----------------
+  {
+    SimContext ctx(cluster);
+    Communicator comm(ctx);
+    const std::int64_t rows_per_peer = std::max<std::int64_t>(1, rows / std::max(1, c));
+    std::vector<std::vector<Tensor>> parts(static_cast<std::size_t>(c));
+    for (std::int32_t i = 0; i < c; ++i) {
+      for (std::int32_t j = 0; j < c; ++j) {
+        parts[static_cast<std::size_t>(i)].emplace_back(i == j ? 0 : rows_per_peer, cols);
+      }
+    }
+    comm.AllToAllTensors(parts, Phase::kTrain);
+    const double per_device_bytes = static_cast<double>(rows_per_peer) * cols *
+                                    sizeof(float) * std::max(0, c - 1);
+    profile.alltoall_bytes_per_s = per_device_bytes / std::max(1e-12, ctx.MaxNow());
+  }
+
+  // --- AllReduce. -----------------------------------------------------------
+  {
+    SimContext ctx(cluster);
+    Communicator comm(ctx);
+    std::vector<Tensor> bufs;
+    std::vector<Tensor*> ptrs;
+    bufs.reserve(static_cast<std::size_t>(c));
+    for (std::int32_t i = 0; i < c; ++i) bufs.emplace_back(rows, cols);
+    for (auto& b : bufs) ptrs.push_back(&b);
+    comm.AllReduceSum(ptrs, Phase::kTrain);
+    profile.allreduce_bytes_per_s =
+        static_cast<double>(bufs[0].bytes()) / std::max(1e-12, ctx.MaxNow());
+  }
+
+  // --- AllBroadcast. ---------------------------------------------------------
+  {
+    SimContext ctx(cluster);
+    Communicator comm(ctx);
+    std::vector<Tensor> inputs;
+    for (std::int32_t i = 0; i < c; ++i) inputs.emplace_back(rows, cols);
+    comm.AllBroadcastTensors(inputs, Phase::kTrain);
+    const double total = static_cast<double>(inputs[0].bytes()) * c;
+    profile.broadcast_bytes_per_s = total / std::max(1e-12, ctx.MaxNow());
+  }
+
+  // --- Feature-read channels (straight from the link model). ----------------
+  const MachineSpec& m0 = cluster.machines.front();
+  const LinkSpec intra = m0.has_nvlink ? m0.nvlink : m0.pcie;
+  auto effective = [&](const LinkSpec& link) {
+    return static_cast<double>(trial_bytes) / link.TransferSeconds(trial_bytes);
+  };
+  profile.local_cpu_bytes_per_s = effective(m0.pcie);
+  profile.remote_cpu_bytes_per_s =
+      cluster.num_machines() > 1 ? effective(cluster.network) : 0.0;
+  profile.gpu_cache_bytes_per_s = m0.gpu.mem_bandwidth_bytes_per_s;
+  profile.peer_gpu_bytes_per_s = effective(intra);
+  return profile;
+}
+
+}  // namespace apt

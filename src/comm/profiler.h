@@ -1,0 +1,31 @@
+// Communication-bandwidth profiling (the paper's "Prepare" trials).
+//
+// APT measures the achieved speed of each communication operator before
+// planning, so the cost models can convert dry-run volumes into seconds.
+// The profiler runs timed trials through the same Communicator / link model
+// the execution engine uses, on a scratch SimContext.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware.h"
+
+namespace apt {
+
+/// Effective throughput of each operator class, bytes per second, as seen by
+/// one device (i.e. payload bytes on that device divided by elapsed time).
+struct CommProfile {
+  double alltoall_bytes_per_s = 0.0;    ///< sparse all-to-all (SNP/DNP shuffles)
+  double allreduce_bytes_per_s = 0.0;   ///< ring allreduce (NFP shuffle, DDP sync)
+  double broadcast_bytes_per_s = 0.0;   ///< allgather / AllBroadcast (NFP graphs)
+  double local_cpu_bytes_per_s = 0.0;   ///< GPU <- local CPU feature read (UVA)
+  double remote_cpu_bytes_per_s = 0.0;  ///< GPU <- remote machine CPU read
+  double gpu_cache_bytes_per_s = 0.0;   ///< GPU <- own device memory
+  double peer_gpu_bytes_per_s = 0.0;    ///< GPU <- peer GPU (NVLink/PCIe)
+};
+
+/// Runs trials of `trial_bytes` per device and derives the profile.
+CommProfile ProfileCommunication(const ClusterSpec& cluster,
+                                 std::int64_t trial_bytes = 16LL << 20);
+
+}  // namespace apt

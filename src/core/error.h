@@ -1,0 +1,56 @@
+// Error type and checking macros (fail fast, rich messages).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apt {
+
+/// Exception thrown on any APT_CHECK failure or invalid-argument error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+/// Stream-style message builder used by the APT_CHECK macros; throws on
+/// destruction-by-operator (the macro calls Fail()).
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] void Fail() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct CheckFailTrigger {
+  [[noreturn]] void operator&(CheckFailStream& s) { s.Fail(); }
+  [[noreturn]] void operator&(CheckFailStream&& s) { s.Fail(); }
+};
+
+}  // namespace internal
+}  // namespace apt
+
+/// Always-on invariant check: APT_CHECK(cond) << "context " << value;
+#define APT_CHECK(cond)                                       \
+  if (cond) {                                                 \
+  } else                                                      \
+    ::apt::internal::CheckFailTrigger{} &                     \
+        ::apt::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define APT_CHECK_EQ(a, b) APT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define APT_CHECK_NE(a, b) APT_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define APT_CHECK_LT(a, b) APT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define APT_CHECK_LE(a, b) APT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define APT_CHECK_GT(a, b) APT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define APT_CHECK_GE(a, b) APT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

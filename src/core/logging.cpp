@@ -1,0 +1,25 @@
+#include "core/logging.h"
+
+#include <atomic>
+
+namespace apt {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogLine::~LogLine() {
+  if (static_cast<int>(level_) < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal
+}  // namespace apt

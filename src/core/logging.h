@@ -1,0 +1,42 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace apt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace apt
+
+#define APT_LOG_DEBUG ::apt::internal::LogLine(::apt::LogLevel::kDebug, "DEBUG")
+#define APT_LOG_INFO ::apt::internal::LogLine(::apt::LogLevel::kInfo, "INFO")
+#define APT_LOG_WARN ::apt::internal::LogLine(::apt::LogLevel::kWarn, "WARN")
+#define APT_LOG_ERROR ::apt::internal::LogLine(::apt::LogLevel::kError, "ERROR")

@@ -1,0 +1,18 @@
+#include "core/random.h"
+
+#include <cmath>
+
+namespace apt {
+
+float Rng::NextGaussian() {
+  // Box–Muller; draw until u1 is non-zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * M_PI * u2));
+}
+
+}  // namespace apt

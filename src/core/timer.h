@@ -1,0 +1,23 @@
+// Wall-clock timing helpers (used for host-side measurements such as the
+// dry-run overhead; *simulated* time lives in sim/clock.h).
+#pragma once
+
+#include <chrono>
+
+namespace apt {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace apt

@@ -1,0 +1,34 @@
+#include "core/types.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace apt {
+
+const char* ToString(Strategy s) {
+  switch (s) {
+    case Strategy::kGDP:
+      return "GDP";
+    case Strategy::kNFP:
+      return "NFP";
+    case Strategy::kSNP:
+      return "SNP";
+    case Strategy::kDNP:
+      return "DNP";
+  }
+  return "?";
+}
+
+Strategy StrategyFromString(const std::string& name) {
+  std::string up = name;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (up == "GDP") return Strategy::kGDP;
+  if (up == "NFP") return Strategy::kNFP;
+  if (up == "SNP") return Strategy::kSNP;
+  if (up == "DNP") return Strategy::kDNP;
+  throw Error("unknown strategy name: " + name);
+}
+
+}  // namespace apt

@@ -1,0 +1,42 @@
+// Fundamental identifier and size types shared across the APT library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Global node identifier in the data graph.
+using NodeId = std::int64_t;
+/// Edge identifier (index into CSR adjacency arrays).
+using EdgeId = std::int64_t;
+/// Logical GPU worker identifier, dense in [0, num_devices).
+using DeviceId = std::int32_t;
+/// Machine identifier, dense in [0, num_machines).
+using MachineId = std::int32_t;
+/// Graph-partition identifier (one partition per device for SNP/DNP).
+using PartId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr DeviceId kInvalidDevice = -1;
+
+/// The four parallelization strategies surveyed / proposed by the paper.
+enum class Strategy : std::uint8_t {
+  kGDP = 0,  ///< Graph data parallel: each GPU owns whole mini-batches.
+  kNFP = 1,  ///< Node feature parallel: features split by dimension.
+  kSNP = 2,  ///< Source node parallel: layer-1 split by source node.
+  kDNP = 3,  ///< Destination node parallel: layer-1 split by dst node.
+};
+
+inline constexpr int kNumStrategies = 4;
+
+/// All strategies, in the order the paper enumerates them.
+inline constexpr Strategy kAllStrategies[kNumStrategies] = {
+    Strategy::kGDP, Strategy::kNFP, Strategy::kSNP, Strategy::kDNP};
+
+const char* ToString(Strategy s);
+/// Parses "gdp"/"GDP"/... ; throws apt::Error on unknown names.
+Strategy StrategyFromString(const std::string& name);
+
+}  // namespace apt

@@ -1,0 +1,68 @@
+// Shared types for the unified execution engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "sampling/block.h"
+
+namespace apt {
+
+/// How a global step's seed nodes are assigned to devices.
+enum class SeedAssignment {
+  kChunked,    ///< contiguous per-device chunks (GDP / NFP default)
+  kPartition,  ///< each device takes the seeds in its graph partition
+               ///< (SNP / DNP default, paper §3.2 cache-locality rule)
+};
+
+struct EngineOptions {
+  Strategy strategy = Strategy::kGDP;
+  std::vector<int> fanouts = {10, 10, 10};
+  std::int64_t batch_size_per_device = 1024;
+  std::int64_t cache_bytes_per_device = 4LL << 30;
+  SeedAssignment seed_assignment = SeedAssignment::kPartition;
+  std::uint64_t sample_seed = 99;
+  float learning_rate = 0.05f;
+  /// Prototype of the paper's future-work HYBRID strategy (§5.2, §7): with
+  /// strategy == kSNP, restrict source-node routing to devices of the SAME
+  /// machine; sources owned by other machines are processed at the
+  /// requesting device (GDP-style), so hidden embeddings never cross the
+  /// inter-machine network. See bench/ablation_hybrid.
+  bool hybrid_intra_machine = false;
+
+  /// Default assignment rule for a strategy (tests may override to compare
+  /// strategies on identical mini-batches).
+  static SeedAssignment DefaultAssignment(Strategy s) {
+    return (s == Strategy::kSNP || s == Strategy::kDNP) ? SeedAssignment::kPartition
+                                                        : SeedAssignment::kChunked;
+  }
+};
+
+/// Per-device work for one global step.
+struct DeviceBatch {
+  SampledBatch sample;
+  std::vector<std::int64_t> labels;  ///< one per seed
+};
+
+/// Result of one global step.
+struct StepStats {
+  double loss = 0.0;           ///< seed-weighted mean loss
+  std::int64_t correct = 0;    ///< argmax hits over all seeds
+  std::int64_t num_seeds = 0;
+};
+
+/// Result of one epoch (simulated seconds come from SimContext phases).
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double sim_seconds = 0.0;    ///< stacked sum of the three phase maxima
+  double wall_seconds = 0.0;   ///< true simulated wall clock (max device
+                               ///< clock delta); <= sim_seconds because the
+                               ///< stacked sum double-counts barrier waits
+  double sample_seconds = 0.0; ///< incl. sampled-subgraph shuffles
+  double load_seconds = 0.0;
+  double train_seconds = 0.0;  ///< incl. hidden-embedding shuffles
+};
+
+}  // namespace apt

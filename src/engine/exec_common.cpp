@@ -1,0 +1,155 @@
+#include "engine/exec_common.h"
+
+#include <algorithm>
+
+#include "sampling/neighbor_sampler.h"
+#include "tensor/ops.h"
+
+namespace apt {
+
+std::vector<std::vector<NodeId>> AssignSeeds(const EngineCtx& ctx,
+                                             std::span<const NodeId> step_seeds) {
+  const auto c = static_cast<std::size_t>(ctx.num_devices());
+  std::vector<std::vector<NodeId>> out(c);
+  if (ctx.opts.seed_assignment == SeedAssignment::kChunked) {
+    const std::size_t n = step_seeds.size();
+    const std::size_t chunk = (n + c - 1) / c;
+    for (std::size_t d = 0; d < c; ++d) {
+      const std::size_t lo = std::min(n, d * chunk);
+      const std::size_t hi = std::min(n, lo + chunk);
+      out[d].assign(step_seeds.begin() + lo, step_seeds.begin() + hi);
+    }
+  } else {
+    for (NodeId s : step_seeds) {
+      out[static_cast<std::size_t>(ctx.OwnerOf(s))].push_back(s);
+    }
+  }
+  return out;
+}
+
+double SampleTreeEdges(const SampledBatch& batch) {
+  // UVA sampling performs one random topology read per (frontier entry,
+  // sampled slot) pair; the frontier is the per-seed expansion MULTISET —
+  // deduplication only compacts the node-id lists afterwards. We replay the
+  // exact multiset tree by propagating each node's multiplicity through the
+  // sampled blocks (seeds start at multiplicity 1; a sampled neighbor
+  // inherits its destination's multiplicity). This matches large-graph
+  // behaviour, where frontiers of distinct seeds barely overlap; at our
+  // scaled-down sizes, charging deduplicated counts would grant
+  // clustered-seed strategies an outsized sampling discount.
+  double tree_edges = 0.0;
+  std::vector<double> mult;
+  for (auto it = batch.blocks.rbegin(); it != batch.blocks.rend(); ++it) {
+    const Block& b = *it;
+    if (mult.empty()) {
+      mult.assign(static_cast<std::size_t>(b.num_dst), 1.0);
+    }
+    std::vector<double> next(static_cast<std::size_t>(b.num_src()), 0.0);
+    for (std::int64_t i = 0; i < b.num_dst; ++i) {
+      const double m_i = mult[static_cast<std::size_t>(i)];
+      next[static_cast<std::size_t>(i)] += m_i;  // dst carries into frontier
+      const std::int64_t deg = b.indptr[static_cast<std::size_t>(i) + 1] -
+                               b.indptr[static_cast<std::size_t>(i)];
+      tree_edges += m_i * static_cast<double>(deg);
+      for (std::int64_t e = b.indptr[static_cast<std::size_t>(i)];
+           e < b.indptr[static_cast<std::size_t>(i) + 1]; ++e) {
+        next[static_cast<std::size_t>(b.col[static_cast<std::size_t>(e)])] += m_i;
+      }
+    }
+    mult = std::move(next);
+  }
+  return tree_edges;
+}
+
+double SampleSeconds(const EngineCtx& ctx, DeviceId dev, const SampledBatch& batch) {
+  const MachineSpec& m = ctx.sim->cluster().machine(ctx.sim->cluster().MachineOf(dev));
+  return SampleTreeEdges(batch) * m.cpu_sample_edge_s +
+         static_cast<double>(batch.blocks.size()) * m.gpu.kernel_launch_s;
+}
+
+std::vector<DeviceBatch> SampleDeviceBatches(
+    EngineCtx& ctx, const std::vector<std::vector<NodeId>>& seeds_per_device,
+    Rng& step_rng) {
+  NeighborSampler sampler(ctx.dataset->graph, ctx.opts.fanouts);
+  const auto c = static_cast<std::size_t>(ctx.num_devices());
+  std::vector<DeviceBatch> batches(c);
+  for (std::size_t d = 0; d < c; ++d) {
+    Rng dev_rng = step_rng.Fork(d);
+    DeviceBatch& batch = batches[d];
+    batch.sample = sampler.Sample(seeds_per_device[d], dev_rng);
+    batch.labels.reserve(seeds_per_device[d].size());
+    for (NodeId s : seeds_per_device[d]) {
+      batch.labels.push_back(ctx.dataset->labels[static_cast<std::size_t>(s)]);
+    }
+    ctx.sim->Advance(static_cast<DeviceId>(d),
+                     SampleSeconds(ctx, static_cast<DeviceId>(d), batch.sample),
+                     Phase::kSample);
+  }
+  return batches;
+}
+
+StepStats SeedLossAndGrad(EngineCtx& ctx, DeviceId dev, const DeviceBatch& batch,
+                          const Tensor& logits, std::int64_t total_seeds,
+                          Tensor& grad_logits) {
+  (void)ctx;
+  (void)dev;
+  StepStats stats;
+  stats.num_seeds = static_cast<std::int64_t>(batch.labels.size());
+  if (stats.num_seeds == 0) {
+    grad_logits = Tensor(0, logits.cols());
+    return stats;
+  }
+  grad_logits = Tensor(logits.rows(), logits.cols());
+  const float mean_loss =
+      SoftmaxCrossEntropy(logits, batch.labels, &grad_logits, &stats.correct);
+  // Per-device grad is d(device mean)/d logits; rescale so the DDP *sum*
+  // over devices equals the gradient of the global per-seed mean.
+  const float w = static_cast<float>(stats.num_seeds) / static_cast<float>(total_seeds);
+  Scale(grad_logits, w);
+  stats.loss = static_cast<double>(mean_loss) * w;
+  return stats;
+}
+
+void AllReduceGradients(EngineCtx& ctx) {
+  const auto c = static_cast<std::size_t>(ctx.num_devices());
+  // Flatten each replica's grads into one buffer (the packed-bucket trick
+  // DDP uses) so a single ring allreduce covers the whole model.
+  std::vector<Tensor> flat(c);
+  std::int64_t total = 0;
+  {
+    std::vector<Param*> params = ctx.model(0).Params();
+    for (const Param* p : params) total += p->grad.numel();
+  }
+  for (std::size_t d = 0; d < c; ++d) {
+    flat[d] = Tensor(1, total);
+    std::int64_t off = 0;
+    for (Param* p : ctx.model(static_cast<DeviceId>(d)).Params()) {
+      std::copy_n(p->grad.data(), p->grad.numel(), flat[d].data() + off);
+      off += p->grad.numel();
+    }
+  }
+  std::vector<Tensor*> ptrs;
+  for (auto& t : flat) ptrs.push_back(&t);
+  ctx.comm->AllReduceSum(ptrs, Phase::kTrain);
+  for (std::size_t d = 0; d < c; ++d) {
+    std::int64_t off = 0;
+    for (Param* p : ctx.model(static_cast<DeviceId>(d)).Params()) {
+      std::copy_n(flat[d].data() + off, p->grad.numel(), p->grad.data());
+      off += p->grad.numel();
+    }
+  }
+}
+
+void ChargeStepCompute(EngineCtx& ctx, DeviceId dev, std::span<const Block> blocks,
+                       int first_layer) {
+  GnnModel& model = ctx.model(dev);
+  double flops = 0.0;
+  for (int k = first_layer; k < model.num_layers(); ++k) {
+    const Block& b = blocks[static_cast<std::size_t>(k)];
+    flops += model.layer(k).ForwardFlops(b.num_src(), b.num_dst, b.num_edges()) +
+             model.layer(k).BackwardFlops(b.num_src(), b.num_dst, b.num_edges());
+  }
+  ctx.sim->ChargeCompute(dev, flops);
+}
+
+}  // namespace apt

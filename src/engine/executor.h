@@ -1,0 +1,35 @@
+// Strategy executor interface: one forward+backward global step.
+//
+// All four executors implement the paper's four-stage decomposition —
+// Permute (reorganize sampled subgraphs), Shuffle (move computation graphs),
+// Execute (feature loading + kernels), Reshuffle (move hidden embeddings
+// back) — differing only in which tensor dimension they partition.
+//
+// Contract: after Step() returns, every device's model replica holds its
+// *local* accumulated gradients; the trainer performs the DDP allreduce and
+// optimizer step. Gradients must be such that the allreduce SUM equals the
+// gradient of the global per-seed mean loss.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine_ctx.h"
+#include "engine/engine_types.h"
+
+namespace apt {
+
+class StrategyExecutor {
+ public:
+  explicit StrategyExecutor(EngineCtx& ctx) : ctx_(&ctx) {}
+  virtual ~StrategyExecutor() = default;
+
+  virtual StepStats Step(std::vector<DeviceBatch>& batches) = 0;
+
+ protected:
+  EngineCtx* ctx_;
+};
+
+std::unique_ptr<StrategyExecutor> MakeExecutor(Strategy strategy, EngineCtx& ctx);
+
+}  // namespace apt

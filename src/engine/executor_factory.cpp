@@ -1,0 +1,24 @@
+#include "engine/executor.h"
+
+namespace apt {
+
+std::unique_ptr<StrategyExecutor> MakeGdpExecutor(EngineCtx& ctx);
+std::unique_ptr<StrategyExecutor> MakeNfpExecutor(EngineCtx& ctx);
+std::unique_ptr<StrategyExecutor> MakeSnpExecutor(EngineCtx& ctx);
+std::unique_ptr<StrategyExecutor> MakeDnpExecutor(EngineCtx& ctx);
+
+std::unique_ptr<StrategyExecutor> MakeExecutor(Strategy strategy, EngineCtx& ctx) {
+  switch (strategy) {
+    case Strategy::kGDP:
+      return MakeGdpExecutor(ctx);
+    case Strategy::kNFP:
+      return MakeNfpExecutor(ctx);
+    case Strategy::kSNP:
+      return MakeSnpExecutor(ctx);
+    case Strategy::kDNP:
+      return MakeDnpExecutor(ctx);
+  }
+  throw Error("unknown strategy");
+}
+
+}  // namespace apt

@@ -1,0 +1,51 @@
+// Graph data parallel: each device processes its seeds end to end; the only
+// inter-device communication is the DDP gradient allreduce (by the trainer).
+#include "engine/executor.h"
+#include "engine/exec_common.h"
+
+namespace apt {
+
+namespace {
+
+class GdpExecutor final : public StrategyExecutor {
+ public:
+  using StrategyExecutor::StrategyExecutor;
+
+  StepStats Step(std::vector<DeviceBatch>& batches) override {
+    std::int64_t total_seeds = 0;
+    for (const auto& b : batches) {
+      total_seeds += static_cast<std::int64_t>(b.labels.size());
+    }
+    StepStats agg;
+    agg.num_seeds = total_seeds;
+    const std::int64_t d = ctx_->feature_dim();
+    for (DeviceId dev = 0; dev < ctx_->num_devices(); ++dev) {
+      DeviceBatch& batch = batches[static_cast<std::size_t>(dev)];
+      if (batch.labels.empty()) continue;
+      const auto& blocks = batch.sample.blocks;
+      const auto input_nodes = batch.sample.input_nodes();
+      Tensor feats(static_cast<std::int64_t>(input_nodes.size()), d);
+      ctx_->store->Gather(dev, input_nodes, 0, d, feats);
+      ctx_->sim->NoteTransient(dev, 2 * feats.bytes());
+
+      ModelTape tape;
+      const Tensor logits = ctx_->model(dev).ForwardFrom(0, blocks, feats, &tape);
+      Tensor grad_logits;
+      const StepStats s =
+          SeedLossAndGrad(*ctx_, dev, batch, logits, total_seeds, grad_logits);
+      ctx_->model(dev).BackwardTo(0, blocks, tape, grad_logits);
+      ChargeStepCompute(*ctx_, dev, blocks, 0);
+      agg.loss += s.loss;
+      agg.correct += s.correct;
+    }
+    return agg;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StrategyExecutor> MakeGdpExecutor(EngineCtx& ctx) {
+  return std::make_unique<GdpExecutor>(ctx);
+}
+
+}  // namespace apt

@@ -1,0 +1,423 @@
+// Source node parallel (GSplit-style): layer-1 is partitioned by *source*
+// node. A destination node whose sampled sources live on a remote device
+// gets a virtual node there; the remote device projects and partially
+// aggregates its local sources' contributions and a GroupReduce merges the
+// partials at the requesting device.
+//
+// SAGE math: mean_{u in N(d)} h_u W = sum_g [ (1/deg_d) sum_{u local to g} h_u W ],
+// so partials scaled by the destination's *total* degree sum exactly to the
+// GDP result. The self term W_self h_d is computed by d's owner (the device
+// whose partition holds d) and folded into that device's partial.
+//
+// GAT path: attention needs each destination's complete source view, so the
+// owners instead ship *projected source embeddings* (z rows) to the
+// requesting device, which runs attention locally — the paper's "extra
+// communication for attention-based models".
+#include <unordered_map>
+
+#include "engine/exec_common.h"
+#include "engine/executor.h"
+#include "tensor/ops.h"
+
+namespace apt {
+
+namespace {
+
+/// Virtual-node batch shipped from origin o to source-owner g.
+struct SnpVirtualBatch {
+  std::vector<std::int64_t> dst_local;   ///< row in origin's layer-1 output
+  std::vector<std::int64_t> deg_total;   ///< destination's total sampled degree
+  std::vector<NodeId> self_node;         ///< kInvalidNode, or dst id if owner(d)==g
+  std::vector<std::int64_t> src_indptr;  ///< per virtual node (size n+1)
+  std::vector<NodeId> srcs;              ///< global source ids
+
+  std::int64_t size() const { return static_cast<std::int64_t>(dst_local.size()); }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(
+        dst_local.size() * 8 + deg_total.size() * 8 + self_node.size() * 8 +
+        src_indptr.size() * 8 + srcs.size() * 8);
+  }
+};
+
+/// Node-id request batch (SNP+GAT): origin asks owner for projected rows.
+struct SnpZRequest {
+  std::vector<NodeId> nodes;
+  std::int64_t bytes() const { return static_cast<std::int64_t>(nodes.size() * 8); }
+};
+
+class SnpExecutor final : public StrategyExecutor {
+ public:
+  /// `machine_local` enables the HYBRID routing the paper's conclusion
+  /// proposes as future work: sources whose owner sits on ANOTHER machine
+  /// are processed by the requesting device itself (GDP-style), so no
+  /// hidden embedding ever crosses the inter-machine network; SNP routing
+  /// applies only between devices of the same machine.
+  SnpExecutor(EngineCtx& ctx, bool machine_local)
+      : StrategyExecutor(ctx), machine_local_(machine_local) {}
+
+  StepStats Step(std::vector<DeviceBatch>& batches) override {
+    if (ctx_->model_kind() == ModelKind::kSage) return StepSage(batches);
+    return StepGat(batches);
+  }
+
+ private:
+  /// The device that processes source node u of origin o's subgraph.
+  DeviceId RouteOwner(DeviceId origin, NodeId u) const {
+    const auto owner = static_cast<DeviceId>(ctx_->OwnerOf(u));
+    if (!machine_local_) return owner;
+    const ClusterSpec& cluster = ctx_->sim->cluster();
+    return cluster.MachineOf(owner) == cluster.MachineOf(origin) ? owner : origin;
+  }
+
+  StepStats StepSage(std::vector<DeviceBatch>& batches);
+  StepStats StepGat(std::vector<DeviceBatch>& batches);
+
+  bool machine_local_;
+};
+
+StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
+  const std::int32_t c = ctx_->num_devices();
+  std::int64_t total_seeds = 0;
+  for (const auto& b : batches) total_seeds += static_cast<std::int64_t>(b.labels.size());
+  StepStats agg;
+  agg.num_seeds = total_seeds;
+
+  // ---- Permute: split each origin's layer-1 graph by source owner. -------
+  std::vector<std::vector<SnpVirtualBatch>> sends(
+      static_cast<std::size_t>(c), std::vector<SnpVirtualBatch>(static_cast<std::size_t>(c)));
+  for (DeviceId o = 0; o < c; ++o) {
+    const Block& b = batches[static_cast<std::size_t>(o)].sample.blocks[0];
+    std::vector<std::vector<NodeId>> by_owner(static_cast<std::size_t>(c));
+    for (std::int64_t i = 0; i < b.num_dst; ++i) {
+      const std::int64_t deg = b.indptr[static_cast<std::size_t>(i) + 1] -
+                               b.indptr[static_cast<std::size_t>(i)];
+      for (auto& v : by_owner) v.clear();
+      for (std::int64_t e = b.indptr[static_cast<std::size_t>(i)];
+           e < b.indptr[static_cast<std::size_t>(i) + 1]; ++e) {
+        const NodeId u = b.src_nodes[static_cast<std::size_t>(
+            b.col[static_cast<std::size_t>(e)])];
+        by_owner[static_cast<std::size_t>(RouteOwner(o, u))].push_back(u);
+      }
+      const NodeId dst_global = b.src_nodes[static_cast<std::size_t>(i)];
+      const PartId self_owner = RouteOwner(o, dst_global);
+      for (DeviceId g = 0; g < c; ++g) {
+        const auto& srcs = by_owner[static_cast<std::size_t>(g)];
+        const bool self_here = g == self_owner;
+        if (srcs.empty() && !self_here) continue;
+        SnpVirtualBatch& vb = sends[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)];
+        if (vb.src_indptr.empty()) vb.src_indptr.push_back(0);
+        vb.dst_local.push_back(i);
+        vb.deg_total.push_back(deg);
+        vb.self_node.push_back(self_here ? dst_global : kInvalidNode);
+        vb.srcs.insert(vb.srcs.end(), srcs.begin(), srcs.end());
+        vb.src_indptr.push_back(static_cast<std::int64_t>(vb.srcs.size()));
+      }
+    }
+  }
+
+  // ---- Shuffle: virtual-node batches to source owners. --------------------
+  // recv[g][o] = batch from origin o handled on device g.
+  auto recv = ctx_->comm->AllToAllObjects(
+      std::move(sends), [](const SnpVirtualBatch& v) { return v.bytes(); },
+      Phase::kSample);
+
+  // ---- Execute: partial aggregation + projection at each owner. ----------
+  const std::int64_t d = ctx_->feature_dim();
+  std::vector<std::vector<Tensor>> partials(
+      static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
+  std::vector<std::vector<std::vector<std::int64_t>>> route_index(
+      static_cast<std::size_t>(c),
+      std::vector<std::vector<std::int64_t>>(static_cast<std::size_t>(c)));
+  // Saved for the weight-gradient pass: per (g, o).
+  std::vector<std::vector<Tensor>> saved_agg(partials.size(),
+                                             std::vector<Tensor>(partials.size()));
+  std::vector<std::vector<Tensor>> saved_self(partials.size(),
+                                              std::vector<Tensor>(partials.size()));
+  std::vector<std::vector<std::vector<std::int64_t>>> saved_self_rows(
+      partials.size(), std::vector<std::vector<std::int64_t>>(partials.size()));
+  for (DeviceId g = 0; g < c; ++g) {
+    auto& sage = dynamic_cast<SageLayer&>(ctx_->model(g).layer(0));
+    // One batched feature gather per device per step (DGL-style): collect
+    // the per-origin unique source lists plus owned-destination self rows,
+    // fetch all of them in a single store request, then slice per origin.
+    struct OriginView {
+      std::vector<std::int64_t> col;        ///< edge -> row in the batched gather
+      std::int64_t self_base = 0;           ///< first self row in the gather
+      std::vector<std::int64_t> self_rows;  ///< virtual rows with a self term
+    };
+    std::vector<OriginView> views(static_cast<std::size_t>(c));
+    std::vector<NodeId> gather_nodes;
+    for (DeviceId o = 0; o < c; ++o) {
+      const SnpVirtualBatch& vb = recv[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (vb.size() == 0) continue;
+      OriginView& view = views[static_cast<std::size_t>(o)];
+      std::unordered_map<NodeId, std::int64_t> local;
+      local.reserve(vb.srcs.size() * 2);
+      view.col.resize(vb.srcs.size());
+      for (std::size_t i = 0; i < vb.srcs.size(); ++i) {
+        auto [it, inserted] = local.try_emplace(
+            vb.srcs[i], static_cast<std::int64_t>(gather_nodes.size()));
+        if (inserted) gather_nodes.push_back(vb.srcs[i]);
+        view.col[i] = it->second;
+      }
+      view.self_base = static_cast<std::int64_t>(gather_nodes.size());
+      for (std::int64_t r = 0; r < vb.size(); ++r) {
+        if (vb.self_node[static_cast<std::size_t>(r)] != kInvalidNode) {
+          view.self_rows.push_back(r);
+          gather_nodes.push_back(vb.self_node[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+    Tensor h_all(static_cast<std::int64_t>(gather_nodes.size()), d);
+    if (!gather_nodes.empty()) ctx_->store->Gather(g, gather_nodes, 0, d, h_all);
+
+    double flops = 0.0;
+    std::int64_t transient = h_all.bytes();
+    for (DeviceId o = 0; o < c; ++o) {
+      const SnpVirtualBatch& vb = recv[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (vb.size() == 0) continue;
+      OriginView& view = views[static_cast<std::size_t>(o)];
+      // Partial mean: sum local sources / total degree.
+      Tensor aggd(vb.size(), d);
+      const CsrView local_csr{vb.src_indptr, view.col};
+      SpmmSum(local_csr, h_all, aggd);
+      for (std::int64_t r = 0; r < aggd.rows(); ++r) {
+        const float inv = 1.0f / static_cast<float>(vb.deg_total[static_cast<std::size_t>(r)]);
+        float* row = aggd.row(r);
+        for (std::int64_t j = 0; j < d; ++j) row[j] *= inv;
+      }
+      Tensor part(vb.size(), sage.out_dim());
+      Matmul(aggd, sage.w_neigh().value, part);
+      // Self terms for destinations owned here.
+      const auto num_self = static_cast<std::int64_t>(view.self_rows.size());
+      Tensor self_h(num_self, d);
+      if (num_self > 0) {
+        std::copy_n(h_all.row(view.self_base), num_self * d, self_h.data());
+        Tensor self_out(num_self, sage.out_dim());
+        Matmul(self_h, sage.w_self().value, self_out);
+        ScatterAddRows(self_out, view.self_rows, part);
+      }
+      flops += 2.0 * static_cast<double>(vb.srcs.size()) * d +
+               2.0 * static_cast<double>(vb.size()) * d * sage.out_dim() +
+               2.0 * static_cast<double>(num_self) * d * sage.out_dim();
+      transient += part.bytes();
+      partials[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] = std::move(part);
+      route_index[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] =
+          std::vector<std::int64_t>(vb.dst_local.begin(), vb.dst_local.end());
+      saved_agg[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] = std::move(aggd);
+      saved_self[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] = std::move(self_h);
+      saved_self_rows[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] =
+          std::move(view.self_rows);
+    }
+    ctx_->sim->ChargeCompute(g, flops);
+    ctx_->sim->NoteTransient(g, transient);
+  }
+
+  // ---- Reshuffle: GroupReduce partials at the requesting devices. --------
+  std::vector<Tensor> raw0(static_cast<std::size_t>(c));
+  std::vector<Tensor*> out_ptrs(static_cast<std::size_t>(c), nullptr);
+  for (DeviceId o = 0; o < c; ++o) {
+    const Block& b = batches[static_cast<std::size_t>(o)].sample.blocks[0];
+    raw0[static_cast<std::size_t>(o)] =
+        Tensor(b.num_dst, ctx_->model(o).layer(0).out_dim());
+    out_ptrs[static_cast<std::size_t>(o)] = &raw0[static_cast<std::size_t>(o)];
+  }
+  ctx_->comm->GroupReduce(partials, route_index, out_ptrs, Phase::kTrain);
+
+  // ---- Remainder of the model at each origin. -----------------------------
+  std::vector<Tensor> grad_raw0(static_cast<std::size_t>(c));
+  for (DeviceId o = 0; o < c; ++o) {
+    DeviceBatch& batch = batches[static_cast<std::size_t>(o)];
+    if (batch.labels.empty()) continue;
+    auto& sage = dynamic_cast<SageLayer&>(ctx_->model(o).layer(0));
+    Tensor& r0 = raw0[static_cast<std::size_t>(o)];
+    AddBiasRows(r0, sage.bias().value);
+    const auto& blocks = batch.sample.blocks;
+    ModelTape tape;
+    const Tensor logits = ctx_->model(o).ForwardFrom(1, blocks, r0, &tape);
+    Tensor grad_logits;
+    const StepStats s = SeedLossAndGrad(*ctx_, o, batch, logits, total_seeds, grad_logits);
+    grad_raw0[static_cast<std::size_t>(o)] =
+        ctx_->model(o).BackwardTo(1, blocks, tape, grad_logits);
+    Tensor gb(1, sage.out_dim());
+    BiasGradRows(grad_raw0[static_cast<std::size_t>(o)], gb);
+    Axpy(1.0f, gb, sage.bias().grad);
+    ChargeStepCompute(*ctx_, o, blocks, 1);
+    agg.loss += s.loss;
+    agg.correct += s.correct;
+  }
+
+  // ---- Backward shuffle: destination grads back to partial computers. ----
+  std::vector<std::vector<Tensor>> grad_sends(
+      static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
+  for (DeviceId g = 0; g < c; ++g) {
+    for (DeviceId o = 0; o < c; ++o) {
+      const auto& idx = route_index[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (idx.empty() || grad_raw0[static_cast<std::size_t>(o)].rows() == 0) continue;
+      Tensor rows(static_cast<std::int64_t>(idx.size()),
+                  grad_raw0[static_cast<std::size_t>(o)].cols());
+      GatherRows(grad_raw0[static_cast<std::size_t>(o)], idx, rows);
+      grad_sends[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)] = std::move(rows);
+    }
+  }
+  auto grad_recv = ctx_->comm->AllToAllTensors(grad_sends, Phase::kTrain);
+
+  // ---- Weight gradients at the partial computers. -------------------------
+  for (DeviceId g = 0; g < c; ++g) {
+    auto& sage = dynamic_cast<SageLayer&>(ctx_->model(g).layer(0));
+    double flops = 0.0;
+    for (DeviceId o = 0; o < c; ++o) {
+      const Tensor& grows = grad_recv[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (grows.rows() == 0) continue;
+      const Tensor& aggd = saved_agg[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      MatmulTN(aggd, grows, sage.w_neigh().grad, 1.0f, 1.0f);
+      const Tensor& self_h = saved_self[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      const auto& self_rows =
+          saved_self_rows[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (self_h.rows() > 0) {
+        Tensor gsel(self_h.rows(), grows.cols());
+        GatherRows(grows, self_rows, gsel);
+        MatmulTN(self_h, gsel, sage.w_self().grad, 1.0f, 1.0f);
+      }
+      flops += 4.0 * static_cast<double>(grows.rows()) * d * sage.out_dim();
+    }
+    ctx_->sim->ChargeCompute(g, flops);
+  }
+  return agg;
+}
+
+StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
+  const std::int32_t c = ctx_->num_devices();
+  const std::int64_t d = ctx_->feature_dim();
+  std::int64_t total_seeds = 0;
+  for (const auto& b : batches) total_seeds += static_cast<std::int64_t>(b.labels.size());
+  StepStats agg;
+  agg.num_seeds = total_seeds;
+
+  // ---- Permute: every layer-1 source node's z row is requested from its
+  // owner (dedup per (origin, owner) pair). ---------------------------------
+  std::vector<std::vector<SnpZRequest>> requests(
+      static_cast<std::size_t>(c), std::vector<SnpZRequest>(static_cast<std::size_t>(c)));
+  // For reassembly: position of each src node in the origin's z tensor.
+  std::vector<std::vector<std::vector<std::int64_t>>> positions(
+      static_cast<std::size_t>(c),
+      std::vector<std::vector<std::int64_t>>(static_cast<std::size_t>(c)));
+  for (DeviceId o = 0; o < c; ++o) {
+    const Block& b = batches[static_cast<std::size_t>(o)].sample.blocks[0];
+    for (std::int64_t i = 0; i < b.num_src(); ++i) {
+      const NodeId v = b.src_nodes[static_cast<std::size_t>(i)];
+      const auto g = static_cast<std::size_t>(RouteOwner(o, v));
+      requests[static_cast<std::size_t>(o)][g].nodes.push_back(v);
+      positions[static_cast<std::size_t>(o)][g].push_back(i);
+    }
+  }
+  auto recv_req = ctx_->comm->AllToAllObjects(
+      std::move(requests), [](const SnpZRequest& r) { return r.bytes(); },
+      Phase::kSample);
+
+  // ---- Execute at owners: load features, project, ship z rows. ------------
+  std::vector<std::vector<Tensor>> z_sends(
+      static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
+  std::vector<std::vector<Tensor>> saved_h(z_sends.size(),
+                                           std::vector<Tensor>(z_sends.size()));
+  for (DeviceId g = 0; g < c; ++g) {
+    auto& gat = dynamic_cast<GatLayer&>(ctx_->model(g).layer(0));
+    // One batched gather per device per step; per-origin requests are
+    // served as contiguous row ranges of the batched fetch.
+    std::vector<NodeId> gather_nodes;
+    std::vector<std::int64_t> base(static_cast<std::size_t>(c), 0);
+    for (DeviceId o = 0; o < c; ++o) {
+      base[static_cast<std::size_t>(o)] = static_cast<std::int64_t>(gather_nodes.size());
+      const auto& req = recv_req[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      gather_nodes.insert(gather_nodes.end(), req.nodes.begin(), req.nodes.end());
+    }
+    Tensor h_all(static_cast<std::int64_t>(gather_nodes.size()), d);
+    if (!gather_nodes.empty()) ctx_->store->Gather(g, gather_nodes, 0, d, h_all);
+
+    double flops = 0.0;
+    std::int64_t transient = h_all.bytes();
+    for (DeviceId o = 0; o < c; ++o) {
+      const auto& req = recv_req[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (req.nodes.empty()) continue;
+      const auto n = static_cast<std::int64_t>(req.nodes.size());
+      Tensor h(n, d);
+      std::copy_n(h_all.row(base[static_cast<std::size_t>(o)]), n * d, h.data());
+      Tensor z = gat.Project(h);
+      flops += 2.0 * static_cast<double>(n) * d * gat.out_dim();
+      transient += h.bytes() + z.bytes();
+      z_sends[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] = std::move(z);
+      saved_h[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)] = std::move(h);
+    }
+    ctx_->sim->ChargeCompute(g, flops);
+    ctx_->sim->NoteTransient(g, transient);
+  }
+  // Hidden-embedding shuffle (the GAT extra communication).
+  auto z_recv = ctx_->comm->AllToAllTensors(z_sends, Phase::kTrain);
+
+  // ---- Attention + remainder at origins. -----------------------------------
+  std::vector<Tensor> grad_z_full(static_cast<std::size_t>(c));
+  for (DeviceId o = 0; o < c; ++o) {
+    DeviceBatch& batch = batches[static_cast<std::size_t>(o)];
+    if (batch.labels.empty()) continue;
+    auto& gat = dynamic_cast<GatLayer&>(ctx_->model(o).layer(0));
+    const Block& b = batch.sample.blocks[0];
+    Tensor z(b.num_src(), gat.out_dim());
+    for (DeviceId g = 0; g < c; ++g) {
+      const Tensor& rows = z_recv[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)];
+      if (rows.rows() == 0) continue;
+      ScatterRows(rows, positions[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)], z);
+    }
+    std::unique_ptr<GatAttentionContext> attn_ctx;
+    const Tensor raw0 = gat.AttentionForward(b.csr(), b.num_dst, z, &attn_ctx);
+    const auto& blocks = batch.sample.blocks;
+    ModelTape tape;
+    const Tensor logits = ctx_->model(o).ForwardFrom(1, blocks, raw0, &tape);
+    Tensor grad_logits;
+    const StepStats s = SeedLossAndGrad(*ctx_, o, batch, logits, total_seeds, grad_logits);
+    const Tensor grad_raw0 = ctx_->model(o).BackwardTo(1, blocks, tape, grad_logits);
+    grad_z_full[static_cast<std::size_t>(o)] =
+        gat.AttentionBackward(b.csr(), b.num_dst, *attn_ctx, grad_raw0);
+    ChargeStepCompute(*ctx_, o, blocks, 1);
+    ctx_->sim->ChargeCompute(
+        o, gat.ForwardFlops(b.num_src(), b.num_dst, b.num_edges()));
+    agg.loss += s.loss;
+    agg.correct += s.correct;
+  }
+
+  // ---- Backward: grad_z rows return to the owners. -------------------------
+  std::vector<std::vector<Tensor>> gz_sends(
+      static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
+  for (DeviceId o = 0; o < c; ++o) {
+    const Tensor& gz = grad_z_full[static_cast<std::size_t>(o)];
+    if (gz.rows() == 0) continue;
+    for (DeviceId g = 0; g < c; ++g) {
+      const auto& pos = positions[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)];
+      if (pos.empty()) continue;
+      Tensor rows(static_cast<std::int64_t>(pos.size()), gz.cols());
+      GatherRows(gz, pos, rows);
+      gz_sends[static_cast<std::size_t>(o)][static_cast<std::size_t>(g)] = std::move(rows);
+    }
+  }
+  auto gz_recv = ctx_->comm->AllToAllTensors(gz_sends, Phase::kTrain);
+  for (DeviceId g = 0; g < c; ++g) {
+    auto& gat = dynamic_cast<GatLayer&>(ctx_->model(g).layer(0));
+    double flops = 0.0;
+    for (DeviceId o = 0; o < c; ++o) {
+      const Tensor& grows = gz_recv[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      if (grows.rows() == 0) continue;
+      const Tensor& h = saved_h[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
+      MatmulTN(h, grows, gat.w().grad, 1.0f, 1.0f);
+      flops += 2.0 * static_cast<double>(grows.rows()) * d * gat.out_dim();
+    }
+    ctx_->sim->ChargeCompute(g, flops);
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::unique_ptr<StrategyExecutor> MakeSnpExecutor(EngineCtx& ctx) {
+  return std::make_unique<SnpExecutor>(ctx, ctx.opts.hybrid_intra_machine);
+}
+
+}  // namespace apt

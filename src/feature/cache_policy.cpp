@@ -1,0 +1,100 @@
+#include "feature/cache_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace apt {
+
+namespace {
+
+/// Top nodes of `candidates` by hotness that fit in `max_rows`.
+std::vector<NodeId> TopHot(std::vector<NodeId> candidates,
+                           std::span<const std::int64_t> hotness,
+                           std::int64_t max_rows) {
+  if (max_rows <= 0) return {};
+  std::stable_sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    return hotness[static_cast<std::size_t>(a)] > hotness[static_cast<std::size_t>(b)];
+  });
+  if (static_cast<std::int64_t>(candidates.size()) > max_rows) {
+    candidates.resize(static_cast<std::size_t>(max_rows));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+CacheConfig ConfigureCache(const CachePolicyInput& in) {
+  APT_CHECK_GT(in.num_devices, 0);
+  APT_CHECK_GT(in.feature_dim, 0);
+  const auto n = static_cast<NodeId>(in.hotness.size());
+  CacheConfig cfg;
+  cfg.cache_nodes.resize(static_cast<std::size_t>(in.num_devices));
+
+  const std::int64_t full_row_bytes =
+      in.feature_dim * static_cast<std::int64_t>(sizeof(float));
+
+  switch (in.strategy) {
+    case Strategy::kGDP:
+    case Strategy::kNFP: {
+      // NFP co-partitions feature dimensions: each device stores d/C columns
+      // of a cached node, so the per-row footprint shrinks by C.
+      cfg.bytes_per_cached_row = in.strategy == Strategy::kNFP
+                                     ? std::max<std::int64_t>(
+                                           1, full_row_bytes / in.num_devices)
+                                     : full_row_bytes;
+      const std::int64_t max_rows =
+          in.budget_bytes_per_device / std::max<std::int64_t>(1, cfg.bytes_per_cached_row);
+      std::vector<NodeId> all(static_cast<std::size_t>(n));
+      std::iota(all.begin(), all.end(), NodeId{0});
+      const std::vector<NodeId> hot = TopHot(std::move(all), in.hotness, max_rows);
+      for (auto& dev_nodes : cfg.cache_nodes) dev_nodes = hot;
+      break;
+    }
+    case Strategy::kSNP:
+    case Strategy::kDNP: {
+      APT_CHECK_EQ(static_cast<NodeId>(in.partition.size()), n);
+      cfg.bytes_per_cached_row = full_row_bytes;
+      const std::int64_t max_rows =
+          in.budget_bytes_per_device / std::max<std::int64_t>(1, full_row_bytes);
+      // Candidate sets per device.
+      std::vector<std::vector<NodeId>> candidates(
+          static_cast<std::size_t>(in.num_devices));
+      for (NodeId v = 0; v < n; ++v) {
+        const PartId p = in.partition[static_cast<std::size_t>(v)];
+        APT_CHECK(p >= 0 && p < in.num_devices) << "partition id " << p;
+        candidates[static_cast<std::size_t>(p)].push_back(v);
+      }
+      if (in.strategy == Strategy::kDNP) {
+        // Expand by 1-hop neighbors: DNP loads the sources of every
+        // destination it manages, so neighbor features are cache-worthy.
+        APT_CHECK(in.graph != nullptr) << "DNP cache policy needs the graph";
+        std::vector<std::uint8_t> seen(static_cast<std::size_t>(n));
+        for (std::int32_t d = 0; d < in.num_devices; ++d) {
+          auto& cand = candidates[static_cast<std::size_t>(d)];
+          std::fill(seen.begin(), seen.end(), 0);
+          for (NodeId v : cand) seen[static_cast<std::size_t>(v)] = 1;
+          const std::size_t base_size = cand.size();
+          for (std::size_t i = 0; i < base_size; ++i) {
+            for (NodeId u : in.graph->Neighbors(cand[i])) {
+              if (!seen[static_cast<std::size_t>(u)]) {
+                seen[static_cast<std::size_t>(u)] = 1;
+                cand.push_back(u);
+              }
+            }
+          }
+        }
+      }
+      for (std::int32_t d = 0; d < in.num_devices; ++d) {
+        cfg.cache_nodes[static_cast<std::size_t>(d)] =
+            TopHot(std::move(candidates[static_cast<std::size_t>(d)]), in.hotness,
+                   max_rows);
+      }
+      break;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace apt

@@ -1,0 +1,37 @@
+// Per-strategy GPU cache configuration (paper §3.2, "Cache configuration").
+//
+// Given dry-run hotness counts and a byte budget per GPU:
+//   * GDP / NFP cache the globally most popular nodes (NFP caches a d/C
+//     dimension slice per node, so the same budget holds C x more nodes);
+//   * SNP caches the most popular nodes of the GPU's own graph partition;
+//   * DNP caches the most popular nodes among its partition plus their
+//     1-hop neighbors (it can exploit excess memory, unlike SNP/NFP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/csr_graph.h"
+
+namespace apt {
+
+struct CacheConfig {
+  std::vector<std::vector<NodeId>> cache_nodes;  ///< one list per device
+  std::int64_t bytes_per_cached_row = 0;
+};
+
+struct CachePolicyInput {
+  Strategy strategy = Strategy::kGDP;
+  std::int64_t budget_bytes_per_device = 0;
+  std::int64_t feature_dim = 0;
+  std::int32_t num_devices = 1;
+  std::span<const std::int64_t> hotness;      ///< dry-run access counts per node
+  std::span<const PartId> partition;          ///< per node (SNP/DNP)
+  const CsrGraph* graph = nullptr;            ///< for DNP's 1-hop expansion
+};
+
+CacheConfig ConfigureCache(const CachePolicyInput& in);
+
+}  // namespace apt

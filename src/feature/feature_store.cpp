@@ -1,0 +1,134 @@
+#include "feature/feature_store.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace apt {
+
+const char* ToString(FeatureTier t) {
+  switch (t) {
+    case FeatureTier::kGpuCache:
+      return "gpu_cache";
+    case FeatureTier::kPeerGpu:
+      return "peer_gpu";
+    case FeatureTier::kLocalCpu:
+      return "local_cpu";
+    case FeatureTier::kRemoteCpu:
+      return "remote_cpu";
+  }
+  return "?";
+}
+
+FeatureStore::FeatureStore(const Tensor& features, std::vector<MachineId> node_machine,
+                           SimContext& ctx)
+    : features_(&features), node_machine_(std::move(node_machine)), ctx_(&ctx) {
+  APT_CHECK_EQ(static_cast<std::int64_t>(node_machine_.size()), features.rows());
+  const auto c = static_cast<std::size_t>(ctx.num_devices());
+  cache_bitmap_.assign(c, std::vector<std::uint8_t>(
+                              static_cast<std::size_t>(features.rows()), 0));
+}
+
+void FeatureStore::ConfigureCaches(const std::vector<std::vector<NodeId>>& cache_nodes,
+                                   std::int64_t bytes_per_cached_row) {
+  APT_CHECK_EQ(cache_nodes.size(), cache_bitmap_.size());
+  for (std::size_t d = 0; d < cache_nodes.size(); ++d) {
+    std::fill(cache_bitmap_[d].begin(), cache_bitmap_[d].end(), 0);
+    for (NodeId v : cache_nodes[d]) {
+      APT_CHECK(v >= 0 && v < num_nodes()) << "cache node " << v;
+      cache_bitmap_[d][static_cast<std::size_t>(v)] = 1;
+    }
+    ctx_->AllocPersistent(static_cast<DeviceId>(d),
+                          static_cast<std::int64_t>(cache_nodes[d].size()) *
+                              bytes_per_cached_row);
+  }
+}
+
+FeatureTier FeatureStore::Classify(DeviceId dev, NodeId v) const {
+  if (Cached(dev, v)) return FeatureTier::kGpuCache;
+  const ClusterSpec& cluster = ctx_->cluster();
+  const MachineId m = cluster.MachineOf(dev);
+  // Peer-GPU reads require fast interconnect (paper feature-map rule 1).
+  if (cluster.machine(m).has_nvlink) {
+    const std::int32_t local = cluster.LocalIndex(dev);
+    const DeviceId base = dev - local;
+    for (std::int32_t i = 0; i < cluster.machine(m).num_gpus; ++i) {
+      const DeviceId peer = base + i;
+      if (peer != dev && Cached(peer, v)) return FeatureTier::kPeerGpu;
+    }
+  }
+  if (node_machine_[static_cast<std::size_t>(v)] == m) return FeatureTier::kLocalCpu;
+  return FeatureTier::kRemoteCpu;
+}
+
+LoadVolume FeatureStore::CountGather(DeviceId dev, std::span<const NodeId> nodes,
+                                     std::int64_t col_lo, std::int64_t col_hi) const {
+  APT_CHECK(col_lo >= 0 && col_lo <= col_hi && col_hi <= feature_dim());
+  const std::int64_t row_bytes =
+      (col_hi - col_lo) * static_cast<std::int64_t>(sizeof(float));
+  LoadVolume vol;
+  for (NodeId v : nodes) {
+    const auto tier = static_cast<std::size_t>(Classify(dev, v));
+    vol.rows[tier] += 1;
+    vol.bytes[tier] += row_bytes;
+  }
+  return vol;
+}
+
+double FeatureStore::LoadSeconds(DeviceId dev, const LoadVolume& volume) const {
+  const ClusterSpec& cluster = ctx_->cluster();
+  const MachineId m = cluster.MachineOf(dev);
+  const MachineSpec& machine = cluster.machine(m);
+  double t = 0.0;
+  auto bytes_of = [&](FeatureTier tier) {
+    return volume.bytes[static_cast<std::size_t>(tier)];
+  };
+  if (bytes_of(FeatureTier::kGpuCache) > 0) {
+    t += machine.gpu.kernel_launch_s +
+         static_cast<double>(bytes_of(FeatureTier::kGpuCache)) /
+             machine.gpu.mem_bandwidth_bytes_per_s;
+  }
+  if (bytes_of(FeatureTier::kPeerGpu) > 0) {
+    const LinkSpec link = machine.has_nvlink ? machine.nvlink : machine.pcie;
+    t += link.TransferSeconds(bytes_of(FeatureTier::kPeerGpu));
+  }
+  if (bytes_of(FeatureTier::kLocalCpu) > 0) {
+    t += machine.pcie.TransferSeconds(bytes_of(FeatureTier::kLocalCpu));
+  }
+  if (bytes_of(FeatureTier::kRemoteCpu) > 0) {
+    t += cluster.network.TransferSeconds(bytes_of(FeatureTier::kRemoteCpu));
+  }
+  return t;
+}
+
+LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
+                                std::int64_t col_lo, std::int64_t col_hi, Tensor& out) {
+  APT_CHECK_EQ(out.rows(), static_cast<std::int64_t>(nodes.size()));
+  APT_CHECK_EQ(out.cols(), col_hi - col_lo);
+  const LoadVolume vol = CountGather(dev, nodes, col_lo, col_hi);
+  const std::int64_t width = col_hi - col_lo;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const float* src = features_->row(nodes[i]) + col_lo;
+    std::copy_n(src, width, out.row(static_cast<std::int64_t>(i)));
+  }
+  ctx_->Advance(dev, LoadSeconds(dev, vol), Phase::kLoad);
+  ctx_->CountTraffic(TrafficClass::kLocalCpuGpu,
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)]);
+  ctx_->CountTraffic(TrafficClass::kPeerGpu,
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kPeerGpu)]);
+  ctx_->CountTraffic(TrafficClass::kCrossMachine,
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kRemoteCpu)]);
+  return vol;
+}
+
+std::vector<MachineId> FeaturePlacementFromPartition(const std::vector<PartId>& part,
+                                                     const ClusterSpec& cluster) {
+  std::vector<MachineId> placement(part.size());
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    const auto dev = static_cast<DeviceId>(part[v]);
+    placement[v] = cluster.MachineOf(dev % cluster.num_devices());
+  }
+  return placement;
+}
+
+}  // namespace apt

@@ -1,0 +1,105 @@
+// Unified feature store over the simulated memory hierarchy (paper §4.2).
+//
+// Node features live in CPU memory, partitioned across machines; each GPU
+// caches the rows its strategy expects to touch most. A gather request is
+// served tier by tier — own GPU cache, peer GPU (NVLink only), local CPU,
+// remote CPU — with real row copies plus simulated transfer time per tier.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/sim_context.h"
+#include "tensor/tensor.h"
+
+namespace apt {
+
+/// Where a feature row was served from.
+enum class FeatureTier : int {
+  kGpuCache = 0,
+  kPeerGpu = 1,
+  kLocalCpu = 2,
+  kRemoteCpu = 3,
+};
+inline constexpr int kNumFeatureTiers = 4;
+
+const char* ToString(FeatureTier t);
+
+/// Byte counts per tier for one gather (or accumulated over an epoch);
+/// the raw material of the cost model's T_load.
+struct LoadVolume {
+  std::array<std::int64_t, kNumFeatureTiers> bytes{};
+  std::array<std::int64_t, kNumFeatureTiers> rows{};
+
+  void Add(const LoadVolume& o) {
+    for (int i = 0; i < kNumFeatureTiers; ++i) {
+      bytes[static_cast<std::size_t>(i)] += o.bytes[static_cast<std::size_t>(i)];
+      rows[static_cast<std::size_t>(i)] += o.rows[static_cast<std::size_t>(i)];
+    }
+  }
+  std::int64_t TotalBytes() const {
+    std::int64_t t = 0;
+    for (auto b : bytes) t += b;
+    return t;
+  }
+  std::int64_t CpuBytes() const {
+    return bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)] +
+           bytes[static_cast<std::size_t>(FeatureTier::kRemoteCpu)];
+  }
+};
+
+class FeatureStore {
+ public:
+  /// `features` must outlive the store. `node_machine[v]` names the machine
+  /// whose CPU memory holds v's feature (size == num rows of features).
+  FeatureStore(const Tensor& features, std::vector<MachineId> node_machine,
+               SimContext& ctx);
+
+  /// Installs per-device cached node sets (from a CachePolicy). For NFP the
+  /// cached slice is narrower; `bytes_per_cached_row` lets the caller account
+  /// the true footprint. Registers the footprint with SimContext memory.
+  void ConfigureCaches(const std::vector<std::vector<NodeId>>& cache_nodes,
+                       std::int64_t bytes_per_cached_row);
+
+  /// Gathers columns [col_lo, col_hi) of `nodes` into `out` (resized by the
+  /// caller to nodes.size() x (col_hi - col_lo)), charging simulated load
+  /// time on `dev` and returning the per-tier volume.
+  LoadVolume Gather(DeviceId dev, std::span<const NodeId> nodes, std::int64_t col_lo,
+                    std::int64_t col_hi, Tensor& out);
+
+  /// Volume-only variant used by dry-run: classifies tiers and charges
+  /// nothing, copies nothing.
+  LoadVolume CountGather(DeviceId dev, std::span<const NodeId> nodes,
+                         std::int64_t col_lo, std::int64_t col_hi) const;
+
+  /// Converts a volume into simulated seconds for `dev` (one latency charge
+  /// per non-empty tier; bandwidth from the cluster link model).
+  double LoadSeconds(DeviceId dev, const LoadVolume& volume) const;
+
+  /// True if dev's cache holds v.
+  bool Cached(DeviceId dev, NodeId v) const {
+    return cache_bitmap_[static_cast<std::size_t>(dev)]
+                        [static_cast<std::size_t>(v)] != 0;
+  }
+
+  FeatureTier Classify(DeviceId dev, NodeId v) const;
+
+  std::int64_t feature_dim() const { return features_->cols(); }
+  std::int64_t num_nodes() const { return features_->rows(); }
+
+ private:
+  const Tensor* features_;
+  std::vector<MachineId> node_machine_;
+  SimContext* ctx_;
+  std::vector<std::vector<std::uint8_t>> cache_bitmap_;  ///< per device
+};
+
+/// Assigns features to machines: node v lives on the machine hosting the
+/// device that owns v's partition. With one machine everything is local.
+std::vector<MachineId> FeaturePlacementFromPartition(
+    const std::vector<PartId>& part, const ClusterSpec& cluster);
+
+}  // namespace apt

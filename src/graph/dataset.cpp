@@ -1,0 +1,123 @@
+#include "graph/dataset.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+
+namespace apt {
+
+Dataset MakeDataset(const DatasetParams& params) {
+  APT_CHECK_GT(params.num_classes, 1);
+  Dataset ds;
+  ds.name = params.name;
+  ds.num_classes = params.num_classes;
+  ds.num_communities = params.num_communities;
+
+  ZipfCommunityParams gp;
+  gp.num_nodes = params.num_nodes;
+  gp.num_edges = params.num_edges;
+  gp.num_communities = params.num_communities;
+  gp.zipf_exponent = params.zipf_exponent;
+  gp.zipf_offset = params.zipf_offset;
+  gp.intra_prob = params.intra_prob;
+  gp.seed = params.seed;
+  ds.graph = ZipfCommunityGraph(gp);
+
+  const NodeId n = ds.graph.num_nodes();
+  Rng rng = Rng(params.seed).Fork(0xfea7);
+
+  // Labels: community id modulo classes, with a noisy fraction randomized so
+  // the classification task is not trivially separable.
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::int32_t c = CommunityOf(v, n, params.num_communities);
+    std::int64_t label = c % params.num_classes;
+    if (rng.NextDouble() < params.label_noise) {
+      label = static_cast<std::int64_t>(
+          rng.NextBelow(static_cast<std::uint64_t>(params.num_classes)));
+    }
+    ds.labels[static_cast<std::size_t>(v)] = label;
+  }
+
+  // Features: class centroid plus isotropic noise.
+  Tensor centroids(params.num_classes, params.feature_dim);
+  Rng crng = Rng(params.seed).Fork(0xce17);
+  GaussianInit(centroids, crng, 1.0f);
+  ds.features = Tensor(n, params.feature_dim);
+  Rng frng = Rng(params.seed).Fork(0xf00d);
+  for (NodeId v = 0; v < n; ++v) {
+    const float* c = centroids.row(ds.labels[static_cast<std::size_t>(v)]);
+    float* f = ds.features.row(v);
+    for (std::int64_t j = 0; j < params.feature_dim; ++j) {
+      f[j] = c[j] + params.feature_noise * frng.NextGaussian();
+    }
+  }
+
+  // Splits: a random permutation carved into train / val / test.
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  Rng srng = Rng(params.seed).Fork(0x5e3d);
+  srng.Shuffle(perm);
+  const auto n_train = static_cast<std::size_t>(params.train_fraction * n);
+  const auto n_val = static_cast<std::size_t>(params.val_fraction * n);
+  APT_CHECK_LE(n_train + n_val, perm.size());
+  ds.train_nodes.assign(perm.begin(), perm.begin() + n_train);
+  ds.val_nodes.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  ds.test_nodes.assign(perm.begin() + n_train + n_val, perm.end());
+  return ds;
+}
+
+DatasetParams PsLikeParams(double scale) {
+  // Papers100M-like: strong access skew (Table 3: top 1% of nodes get 50% of
+  // accesses), feature dim 128, dense citation-style communities.
+  DatasetParams p;
+  p.name = "ps_like";
+  p.num_nodes = static_cast<NodeId>(24000 * scale);
+  p.num_edges = static_cast<EdgeId>(360000 * scale);
+  p.feature_dim = 128;
+  p.num_classes = 16;
+  p.num_communities = 16;
+  p.zipf_exponent = 4.0;
+  p.zipf_offset = 16.0;
+  p.intra_prob = 0.92;
+  p.seed = 11;
+  return p;
+}
+
+DatasetParams FsLikeParams(double scale) {
+  // Friendster-like: scattered accesses (Table 3 tail-heavy), feature dim 256.
+  DatasetParams p;
+  p.name = "fs_like";
+  p.num_nodes = static_cast<NodeId>(24000 * scale);
+  p.num_edges = static_cast<EdgeId>(400000 * scale);
+  p.feature_dim = 256;
+  p.num_classes = 16;
+  p.num_communities = 16;
+  p.zipf_exponent = 0.85;
+  p.intra_prob = 0.85;
+  p.seed = 22;
+  return p;
+}
+
+DatasetParams ImLikeParams(double scale) {
+  // IGB260M-like: intermediate skew, feature dim 128, largest node count.
+  DatasetParams p;
+  p.name = "im_like";
+  p.num_nodes = static_cast<NodeId>(32000 * scale);
+  p.num_edges = static_cast<EdgeId>(400000 * scale);
+  p.feature_dim = 128;
+  p.num_classes = 16;
+  p.num_communities = 16;
+  p.zipf_exponent = 2.2;
+  p.zipf_offset = 12.0;
+  p.intra_prob = 0.9;
+  p.seed = 33;
+  return p;
+}
+
+DatasetParams WithFeatureDim(DatasetParams p, std::int64_t dim) {
+  p.feature_dim = dim;
+  return p;
+}
+
+}  // namespace apt

@@ -1,0 +1,140 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace apt {
+
+namespace {
+
+/// Samples ranks 0..n-1 with probability proportional to (rank+1)^-alpha
+/// via binary search over the cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(NodeId n, double alpha, double offset)
+      : cum_(static_cast<std::size_t>(n)) {
+    double acc = 0.0;
+    for (NodeId r = 0; r < n; ++r) {
+      acc += std::pow(static_cast<double>(r + 1) + offset, -alpha);
+      cum_[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+
+  NodeId Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    return static_cast<NodeId>(it - cum_.begin());
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+}  // namespace
+
+CsrGraph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, Rng rng) {
+  APT_CHECK_GT(num_nodes, 1);
+  std::vector<NodeId> src, dst;
+  src.reserve(static_cast<std::size_t>(num_edges));
+  dst.reserve(static_cast<std::size_t>(num_edges));
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(num_nodes)));
+    NodeId v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(num_nodes)));
+    while (v == u) {
+      v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(num_nodes)));
+    }
+    src.push_back(u);
+    dst.push_back(v);
+  }
+  return BuildCsr(num_nodes, src, dst, /*symmetrize=*/true);
+}
+
+std::int32_t CommunityOf(NodeId v, NodeId num_nodes, std::int32_t num_communities) {
+  const NodeId block = (num_nodes + num_communities - 1) / num_communities;
+  return static_cast<std::int32_t>(v / block);
+}
+
+CsrGraph ZipfCommunityGraph(const ZipfCommunityParams& params) {
+  APT_CHECK_GT(params.num_nodes, 1);
+  APT_CHECK_GT(params.num_communities, 0);
+  APT_CHECK(params.intra_prob >= 0.0 && params.intra_prob <= 1.0);
+  const NodeId n = params.num_nodes;
+  const std::int32_t k = params.num_communities;
+  const NodeId block = (n + k - 1) / k;
+
+  // One Zipf sampler per community size (communities have at most two sizes).
+  auto comm_lo = [&](std::int32_t c) { return static_cast<NodeId>(c) * block; };
+  auto comm_size = [&](std::int32_t c) {
+    return std::min<NodeId>(block, n - comm_lo(c));
+  };
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(static_cast<std::size_t>(k));
+  for (std::int32_t c = 0; c < k; ++c) {
+    samplers.emplace_back(comm_size(c), params.zipf_exponent, params.zipf_offset);
+  }
+
+  Rng rng(params.seed);
+  std::vector<NodeId> src, dst;
+  src.reserve(static_cast<std::size_t>(params.num_edges));
+  dst.reserve(static_cast<std::size_t>(params.num_edges));
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    // Source: community chosen proportional to its size, then Zipf rank.
+    const NodeId anchor = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    const std::int32_t cs = CommunityOf(anchor, n, k);
+    const NodeId u = comm_lo(cs) + samplers[static_cast<std::size_t>(cs)].Sample(rng);
+    std::int32_t cd = cs;
+    if (rng.NextDouble() >= params.intra_prob && k > 1) {
+      cd = static_cast<std::int32_t>(rng.NextBelow(static_cast<std::uint64_t>(k - 1)));
+      if (cd >= cs) ++cd;
+    }
+    // Destination: uniform within the target community. Drawing BOTH
+    // endpoints from the Zipf head would make hub-hub edges quadratically
+    // overrepresented (a dense assortative core real graphs do not have);
+    // one-sided weighting yields hubs connected to ordinary nodes.
+    NodeId v = comm_lo(cd) + static_cast<NodeId>(rng.NextBelow(
+                                 static_cast<std::uint64_t>(comm_size(cd))));
+    for (int tries = 0; v == u && tries < 8; ++tries) {
+      v = comm_lo(cd) + static_cast<NodeId>(rng.NextBelow(
+                            static_cast<std::uint64_t>(comm_size(cd))));
+    }
+    if (v == u) continue;  // pathological tiny community; drop the edge
+    src.push_back(u);
+    dst.push_back(v);
+  }
+  return BuildCsr(n, src, dst, /*symmetrize=*/true);
+}
+
+CsrGraph Rmat(int scale, EdgeId num_edges, double a, double b, double c, Rng rng) {
+  APT_CHECK(scale > 0 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  APT_CHECK(d >= 0.0) << "RMAT probabilities exceed 1";
+  const NodeId n = static_cast<NodeId>(1) << scale;
+  std::vector<NodeId> src, dst;
+  src.reserve(static_cast<std::size_t>(num_edges));
+  dst.reserve(static_cast<std::size_t>(num_edges));
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    src.push_back(u);
+    dst.push_back(v);
+  }
+  return BuildCsr(n, src, dst, /*symmetrize=*/true);
+}
+
+}  // namespace apt

@@ -1,0 +1,46 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on OGBN-Papers100M, Friendster, and IGB260M — graphs
+// we cannot ship. What decides the winning parallelization strategy is (a)
+// the skew of node-access frequencies under neighbor sampling (Table 3) and
+// (b) how well an edge-cut partitioner can localize the graph (Fig 11).
+// Both are controllable here: `ZipfCommunityGraph` draws endpoints from a
+// Zipf-weighted distribution (skew knob) and keeps a tunable fraction of
+// edges inside planted communities (partitionability knob).
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "graph/csr_graph.h"
+
+namespace apt {
+
+/// Uniform Erdos–Renyi G(n, m): m undirected edges chosen uniformly.
+CsrGraph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, Rng rng);
+
+/// Parameters for the Zipf-weighted planted-community generator.
+struct ZipfCommunityParams {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;       ///< undirected edge count before dedupe
+  std::int32_t num_communities = 8;
+  double zipf_exponent = 0.8; ///< 0 = uniform endpoints; >1 = heavy head
+  double zipf_offset = 0.0;   ///< shifted Zipf: weight = (rank+1+offset)^-a;
+                              ///< flattens the extreme head (no mega-hubs)
+  double intra_prob = 0.9;    ///< probability an edge stays inside a community
+  std::uint64_t seed = 1;
+};
+
+/// Nodes are assigned to communities in contiguous blocks; node popularity
+/// follows a Zipf law *within* each community (so the head of the access
+/// distribution is spread across partitions, as in real graphs).
+CsrGraph ZipfCommunityGraph(const ZipfCommunityParams& params);
+
+/// Community id of a node under ZipfCommunityGraph's contiguous layout.
+std::int32_t CommunityOf(NodeId v, NodeId num_nodes, std::int32_t num_communities);
+
+/// RMAT generator (Graph500-style recursive quadrant sampling).
+/// Produces heavy-tailed degrees; used by tests and micro benches.
+CsrGraph Rmat(int scale, EdgeId num_edges, double a, double b, double c, Rng rng);
+
+}  // namespace apt

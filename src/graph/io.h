@@ -1,0 +1,22 @@
+// Binary dataset serialization.
+//
+// Lets users build a synthetic (or converted) dataset once and reload it
+// across runs — the role DGL's partition/dataset files play for APT's
+// Prepare stage. Format: a small header (magic, version, sizes) followed by
+// raw little-endian arrays; validated on load.
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.h"
+
+namespace apt {
+
+/// Writes `dataset` to `path`. Throws apt::Error on I/O failure.
+void SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDataset. Throws apt::Error on I/O
+/// failure, bad magic/version, or inconsistent sizes.
+Dataset LoadDataset(const std::string& path);
+
+}  // namespace apt

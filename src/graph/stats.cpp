@@ -1,0 +1,47 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace apt {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph) {
+  DegreeStats s;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return s;
+  s.min_degree = graph.Degree(0);
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeId d = graph.Degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.num_isolated;
+  }
+  s.mean_degree = static_cast<double>(graph.num_edges()) / static_cast<double>(n);
+  return s;
+}
+
+std::vector<SkewBucket> ComputeAccessSkew(std::span<const std::int64_t> counts) {
+  std::vector<std::int64_t> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = static_cast<double>(
+      std::accumulate(sorted.begin(), sorted.end(), std::int64_t{0}));
+  const double breakpoints[] = {1.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+  std::vector<SkewBucket> buckets;
+  double lo = 0.0;
+  std::size_t idx = 0;
+  double mass_so_far = 0.0;
+  for (double hi : breakpoints) {
+    const std::size_t hi_idx = static_cast<std::size_t>(hi / 100.0 * sorted.size());
+    double mass = 0.0;
+    for (; idx < hi_idx && idx < sorted.size(); ++idx) {
+      mass += static_cast<double>(sorted[idx]);
+    }
+    mass_so_far += mass;
+    buckets.push_back({lo, hi, total > 0 ? mass / total : 0.0});
+    lo = hi;
+  }
+  (void)mass_so_far;
+  return buckets;
+}
+
+}  // namespace apt

@@ -1,0 +1,34 @@
+// Graph statistics: degree distribution and frequency-skew summaries
+// (the machinery behind the paper's Table 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace apt {
+
+struct DegreeStats {
+  EdgeId min_degree = 0;
+  EdgeId max_degree = 0;
+  double mean_degree = 0.0;
+  NodeId num_isolated = 0;
+};
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph);
+
+/// One row of the paper's Table 3: nodes ranked into (lo%, hi%] by a
+/// frequency count, and the share of total frequency mass they carry.
+struct SkewBucket {
+  double lo_percent;
+  double hi_percent;
+  double access_share;  ///< fraction of the total count mass, in [0, 1]
+};
+
+/// Ranks nodes by descending `counts` and buckets the mass at the paper's
+/// breakpoints {1, 5, 10, 20, 50, 100}%.
+std::vector<SkewBucket> ComputeAccessSkew(std::span<const std::int64_t> counts);
+
+}  // namespace apt

@@ -1,0 +1,24 @@
+// Trainable parameter: value + gradient accumulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apt {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, std::int64_t rows, std::int64_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+  std::int64_t bytes() const { return value.bytes(); }
+};
+
+}  // namespace apt

@@ -1,0 +1,108 @@
+#include "model/sage_layer.h"
+#include <algorithm>
+
+#include "core/error.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace apt {
+
+namespace {
+
+struct SageContext final : LayerContext {
+  Tensor input;  ///< [num_src, in_dim]
+  Tensor agg;    ///< [num_dst, in_dim] mean-aggregated neighbors
+};
+
+}  // namespace
+
+SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_self_("sage.w_self", in_dim, out_dim),
+      w_neigh_("sage.w_neigh", in_dim, out_dim),
+      bias_("sage.bias", 1, out_dim) {
+  XavierUniform(w_self_.value, rng);
+  XavierUniform(w_neigh_.value, rng);
+}
+
+Tensor SageLayer::Forward(const CsrView& csr, std::int64_t num_dst, const Tensor& input,
+                          std::unique_ptr<LayerContext>* saved) {
+  APT_CHECK_EQ(input.cols(), in_dim_);
+  APT_CHECK_GE(input.rows(), num_dst);
+  auto ctx = std::make_unique<SageContext>();
+  ctx->agg = Tensor(num_dst, in_dim_);
+  SpmmMean(csr, input, ctx->agg);
+
+  Tensor out(num_dst, out_dim_);
+  // Self term: only the dst prefix of the input participates.
+  Tensor self_rows(num_dst, in_dim_);
+  std::copy_n(input.data(), num_dst * in_dim_, self_rows.data());
+  Matmul(self_rows, w_self_.value, out);
+  Matmul(ctx->agg, w_neigh_.value, out, 1.0f, 1.0f);
+  AddBiasRows(out, bias_.value);
+
+  if (saved != nullptr) {
+    ctx->input = input;
+    *saved = std::move(ctx);
+  }
+  return out;
+}
+
+Tensor SageLayer::Backward(const CsrView& csr, std::int64_t num_dst,
+                           const LayerContext& saved, const Tensor& grad_out) {
+  const auto& ctx = dynamic_cast<const SageContext&>(saved);
+  APT_CHECK_EQ(grad_out.rows(), num_dst);
+  APT_CHECK_EQ(grad_out.cols(), out_dim_);
+  const std::int64_t num_src = ctx.input.rows();
+
+  // Parameter grads.
+  Tensor self_rows(num_dst, in_dim_);
+  std::copy_n(ctx.input.data(), num_dst * in_dim_, self_rows.data());
+  MatmulTN(self_rows, grad_out, w_self_.grad, 1.0f, 1.0f);
+  MatmulTN(ctx.agg, grad_out, w_neigh_.grad, 1.0f, 1.0f);
+  Tensor gb(1, out_dim_);
+  BiasGradRows(grad_out, gb);
+  Axpy(1.0f, gb, bias_.grad);
+
+  // Input grads.
+  Tensor grad_input(num_src, in_dim_);
+  // Through the neighbor path: grad_agg = grad_out W_neigh^T, then SpMM^T.
+  Tensor grad_agg(num_dst, in_dim_);
+  MatmulNT(grad_out, w_neigh_.value, grad_agg);
+  SpmmMeanBackward(csr, grad_agg, grad_input);
+  // Through the self path: adds into the dst prefix rows.
+  Tensor grad_self(num_dst, in_dim_);
+  MatmulNT(grad_out, w_self_.value, grad_self);
+  for (std::int64_t i = 0; i < num_dst; ++i) {
+    float* dst = grad_input.row(i);
+    const float* src = grad_self.row(i);
+    for (std::int64_t j = 0; j < in_dim_; ++j) dst[j] += src[j];
+  }
+  return grad_input;
+}
+
+void SageLayer::CollectParams(std::vector<Param*>& out) {
+  out.push_back(&w_self_);
+  out.push_back(&w_neigh_);
+  out.push_back(&bias_);
+}
+
+double SageLayer::ForwardFlops(std::int64_t num_src, std::int64_t num_dst,
+                               std::int64_t num_edges) const {
+  (void)num_src;
+  const double proj = 4.0 * static_cast<double>(num_dst) * in_dim_ * out_dim_;
+  const double agg = 2.0 * static_cast<double>(num_edges) * in_dim_;
+  return proj + agg;
+}
+
+double SageLayer::BackwardFlops(std::int64_t num_src, std::int64_t num_dst,
+                                std::int64_t num_edges) const {
+  (void)num_src;
+  // Two GEMMs per weight (param grad + input grad) plus the SpMM transpose.
+  const double proj = 8.0 * static_cast<double>(num_dst) * in_dim_ * out_dim_;
+  const double agg = 2.0 * static_cast<double>(num_edges) * in_dim_;
+  return proj + agg;
+}
+
+}  // namespace apt

@@ -1,0 +1,47 @@
+// GraphSAGE layer with mean aggregation (paper's default model):
+//   out_d = W_self^T h_d + W_neigh^T mean_{u in N(d)} h_u + bias.
+//
+// Besides the monolithic Forward/Backward used for non-distributed layers,
+// the class exposes the partial-computation pieces the engine composes for
+// NFP (dimension-sliced projection) and SNP (source-side partial
+// aggregation): mean aggregation commutes with the linear projection, which
+// is exactly why those strategies are semantically equivalent to GDP.
+#pragma once
+
+#include "core/random.h"
+#include "model/gnn_layer.h"
+
+namespace apt {
+
+class SageLayer final : public GnnLayer {
+ public:
+  SageLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng);
+
+  Tensor Forward(const CsrView& csr, std::int64_t num_dst, const Tensor& input,
+                 std::unique_ptr<LayerContext>* saved) override;
+  Tensor Backward(const CsrView& csr, std::int64_t num_dst, const LayerContext& saved,
+                  const Tensor& grad_out) override;
+  void CollectParams(std::vector<Param*>& out) override;
+  std::int64_t in_dim() const override { return in_dim_; }
+  std::int64_t out_dim() const override { return out_dim_; }
+  double ForwardFlops(std::int64_t num_src, std::int64_t num_dst,
+                      std::int64_t num_edges) const override;
+  double BackwardFlops(std::int64_t num_src, std::int64_t num_dst,
+                       std::int64_t num_edges) const override;
+
+  Param& w_self() { return w_self_; }
+  Param& w_neigh() { return w_neigh_; }
+  Param& bias() { return bias_; }
+  const Param& w_self() const { return w_self_; }
+  const Param& w_neigh() const { return w_neigh_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  std::int64_t in_dim_;
+  std::int64_t out_dim_;
+  Param w_self_;   ///< [in_dim, out_dim]
+  Param w_neigh_;  ///< [in_dim, out_dim]
+  Param bias_;     ///< [1, out_dim]
+};
+
+}  // namespace apt

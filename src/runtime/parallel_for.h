@@ -1,0 +1,58 @@
+// Blocking data-parallel loop over an index range, OpenMP-static style.
+//
+// The range [begin, end) is split into one contiguous chunk per worker.
+// Exceptions thrown by the body are captured and rethrown on the caller
+// thread (first one wins). Falls back to a serial loop for tiny ranges so
+// kernels stay cheap on small inputs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <latch>
+
+#include "runtime/thread_pool.h"
+
+namespace apt {
+
+/// Calls body(i) for every i in [begin, end). `grain` is the minimum chunk
+/// size below which the loop runs serially on the calling thread.
+template <typename Body>
+void ParallelFor(std::int64_t begin, std::int64_t end, const Body& body,
+                 std::int64_t grain = 1024) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::Global();
+  const std::int64_t max_chunks =
+      static_cast<std::int64_t>(pool.NumThreads());
+  if (n <= grain || max_chunks <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::int64_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  const std::int64_t chunk_size = (n + chunks - 1) / chunks;
+  std::latch done(chunks);
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + c * chunk_size;
+    const std::int64_t hi = std::min(end, lo + chunk_size);
+    pool.Submit([&, lo, hi] {
+      try {
+        if (!failed.load(std::memory_order_relaxed)) {
+          for (std::int64_t i = lo; i < hi; ++i) body(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  if (failed.load()) std::rethrow_exception(error);
+}
+
+}  // namespace apt

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a shared FIFO task queue.
+//
+// Used by parallel_for for data-parallel loops (tensor kernels, per-device
+// compute in the simulator). One global pool is shared process-wide to avoid
+// oversubscription, per the structured-parallelism guidance of the C++ Core
+// Guidelines (CP.*): tasks are plain callables, joined via futures/latches,
+// and no detached threads exist.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace apt {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker thread.
+  void Submit(std::function<void()> task);
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+  /// Process-wide shared pool.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace apt

@@ -1,0 +1,21 @@
+#include "sampling/block.h"
+
+#include "core/error.h"
+
+namespace apt {
+
+void Block::Validate() const {
+  APT_CHECK_GE(num_dst, 0);
+  APT_CHECK_LE(num_dst, num_src());
+  APT_CHECK_EQ(static_cast<std::int64_t>(indptr.size()), num_dst + 1);
+  APT_CHECK_EQ(indptr.front(), 0);
+  APT_CHECK_EQ(indptr.back(), num_edges());
+  for (std::size_t i = 1; i < indptr.size(); ++i) {
+    APT_CHECK_GE(indptr[i], indptr[i - 1]);
+  }
+  for (std::int64_t c : col) {
+    APT_CHECK(c >= 0 && c < num_src()) << "col " << c << " of " << num_src();
+  }
+}
+
+}  // namespace apt

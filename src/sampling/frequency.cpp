@@ -1,0 +1,21 @@
+#include "sampling/frequency.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace apt {
+
+std::vector<NodeId> FrequencyCollector::NodesByHotness() const {
+  std::vector<NodeId> order(counts_.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return counts_[static_cast<std::size_t>(a)] > counts_[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::int64_t FrequencyCollector::TotalAccesses() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::int64_t{0});
+}
+
+}  // namespace apt

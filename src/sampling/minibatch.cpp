@@ -1,0 +1,79 @@
+#include "sampling/minibatch.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace apt {
+
+std::vector<std::vector<NodeId>> PerDeviceEpochQueues(
+    std::span<const NodeId> seeds, std::span<const PartId> partition,
+    std::int32_t num_devices, std::int64_t epoch, std::uint64_t seed) {
+  APT_CHECK_GT(num_devices, 0);
+  std::vector<std::vector<NodeId>> queues(static_cast<std::size_t>(num_devices));
+  for (NodeId s : seeds) {
+    const PartId p = partition[static_cast<std::size_t>(s)];
+    APT_CHECK(p >= 0 && p < num_devices) << "partition id " << p;
+    queues[static_cast<std::size_t>(p)].push_back(s);
+  }
+  for (std::size_t d = 0; d < queues.size(); ++d) {
+    Rng rng = Rng(seed).Fork(static_cast<std::uint64_t>(epoch)).Fork(d);
+    rng.Shuffle(queues[d]);
+  }
+  return queues;
+}
+
+std::int64_t QueueStepsPerEpoch(std::span<const std::vector<NodeId>> queues,
+                                std::int64_t batch_size) {
+  APT_CHECK_GT(batch_size, 0);
+  std::int64_t steps = 0;
+  for (const auto& q : queues) {
+    const auto n = static_cast<std::int64_t>(q.size());
+    steps = std::max(steps, (n + batch_size - 1) / batch_size);
+  }
+  return steps;
+}
+
+std::span<const NodeId> QueueStepSlice(const std::vector<NodeId>& q,
+                                       std::int64_t step, std::int64_t batch_size) {
+  const auto n = static_cast<std::int64_t>(q.size());
+  const std::int64_t lo = std::min(n, step * batch_size);
+  const std::int64_t hi = std::min(n, lo + batch_size);
+  return {q.data() + lo, static_cast<std::size_t>(hi - lo)};
+}
+
+MinibatchPlan::MinibatchPlan(std::vector<NodeId> seeds, std::int64_t batch_size_per_device,
+                             std::int32_t num_devices, std::uint64_t seed)
+    : seeds_(std::move(seeds)),
+      batch_size_(batch_size_per_device),
+      num_devices_(num_devices),
+      seed_(seed) {
+  APT_CHECK_GT(batch_size_, 0);
+  APT_CHECK_GT(num_devices_, 0);
+  APT_CHECK(!seeds_.empty()) << "empty seed set";
+}
+
+std::vector<NodeId> MinibatchPlan::EpochSeeds(std::int64_t epoch) const {
+  std::vector<NodeId> out = seeds_;
+  Rng rng = Rng(seed_).Fork(static_cast<std::uint64_t>(epoch));
+  rng.Shuffle(out);
+  return out;
+}
+
+std::int64_t MinibatchPlan::StepsPerEpoch() const {
+  const std::int64_t global = batch_size_ * num_devices_;
+  return (num_seeds() + global - 1) / global;
+}
+
+std::vector<NodeId> MinibatchPlan::StepSeeds(std::span<const NodeId> epoch_seeds,
+                                             std::int64_t step) const {
+  const std::int64_t global = batch_size_ * num_devices_;
+  const std::int64_t lo = step * global;
+  APT_CHECK(lo < static_cast<std::int64_t>(epoch_seeds.size()))
+      << "step " << step << " out of range";
+  const std::int64_t hi =
+      std::min<std::int64_t>(lo + global, static_cast<std::int64_t>(epoch_seeds.size()));
+  return {epoch_seeds.begin() + lo, epoch_seeds.begin() + hi};
+}
+
+}  // namespace apt

@@ -1,0 +1,81 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace apt {
+
+NeighborSampler::NeighborSampler(const CsrGraph& graph, std::vector<int> fanouts)
+    : graph_(graph), fanouts_(std::move(fanouts)) {
+  APT_CHECK(!fanouts_.empty());
+  for (int f : fanouts_) APT_CHECK_GT(f, 0);
+}
+
+Block NeighborSampler::SampleLayer(std::span<const NodeId> dst, int fanout,
+                                   Rng& rng) const {
+  Block block;
+  block.num_dst = static_cast<std::int64_t>(dst.size());
+  block.src_nodes.assign(dst.begin(), dst.end());
+  block.indptr.reserve(dst.size() + 1);
+  block.indptr.push_back(0);
+
+  // Local id assignment: dst nodes occupy the prefix; new sources appended.
+  std::unordered_map<NodeId, std::int64_t> local;
+  local.reserve(dst.size() * 2);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    local.emplace(dst[i], static_cast<std::int64_t>(i));
+  }
+  auto local_id = [&](NodeId v) {
+    auto [it, inserted] = local.try_emplace(v, block.num_src());
+    if (inserted) block.src_nodes.push_back(v);
+    return it->second;
+  };
+
+  std::vector<NodeId> reservoir(static_cast<std::size_t>(fanout));
+  for (NodeId v : dst) {
+    const auto nbrs = graph_.Neighbors(v);
+    const auto deg = static_cast<std::int64_t>(nbrs.size());
+    if (deg <= fanout) {
+      for (NodeId u : nbrs) block.col.push_back(local_id(u));
+    } else {
+      // Reservoir sampling: `fanout` distinct neighbors, uniform w/o replacement.
+      for (std::int64_t i = 0; i < fanout; ++i) {
+        reservoir[static_cast<std::size_t>(i)] = nbrs[static_cast<std::size_t>(i)];
+      }
+      for (std::int64_t i = fanout; i < deg; ++i) {
+        const auto j =
+            static_cast<std::int64_t>(rng.NextBelow(static_cast<std::uint64_t>(i + 1)));
+        if (j < fanout) {
+          reservoir[static_cast<std::size_t>(j)] = nbrs[static_cast<std::size_t>(i)];
+        }
+      }
+      for (std::int64_t i = 0; i < fanout; ++i) {
+        block.col.push_back(local_id(reservoir[static_cast<std::size_t>(i)]));
+      }
+    }
+    block.indptr.push_back(block.num_edges());
+  }
+  return block;
+}
+
+SampledBatch NeighborSampler::Sample(std::span<const NodeId> seeds, Rng& rng) const {
+  SampledBatch batch;
+  batch.seeds.assign(seeds.begin(), seeds.end());
+  // Sample outward from the seeds; each hop's source set becomes the next
+  // hop's destination frontier. Results are stored innermost-first.
+  std::vector<Block> outward;
+  std::vector<NodeId> frontier(seeds.begin(), seeds.end());
+  for (int f : fanouts_) {
+    Block b = SampleLayer(frontier, f, rng);
+    frontier = b.src_nodes;  // includes dst prefix + new neighbors
+    outward.push_back(std::move(b));
+  }
+  // blocks[0] must be the layer furthest from the seeds.
+  batch.blocks.assign(std::make_move_iterator(outward.rbegin()),
+                      std::make_move_iterator(outward.rend()));
+  return batch;
+}
+
+}  // namespace apt

@@ -1,0 +1,78 @@
+#include "sim/hardware.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace apt {
+
+std::int32_t ClusterSpec::num_devices() const {
+  std::int32_t n = 0;
+  for (const auto& m : machines) n += m.num_gpus;
+  return n;
+}
+
+MachineId ClusterSpec::MachineOf(DeviceId dev) const {
+  APT_CHECK_GE(dev, 0);
+  DeviceId base = 0;
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    if (dev < base + machines[m].num_gpus) return static_cast<MachineId>(m);
+    base += machines[m].num_gpus;
+  }
+  throw Error("device id out of range");
+}
+
+std::int32_t ClusterSpec::LocalIndex(DeviceId dev) const {
+  DeviceId base = 0;
+  for (const auto& m : machines) {
+    if (dev < base + m.num_gpus) return dev - base;
+    base += m.num_gpus;
+  }
+  throw Error("device id out of range");
+}
+
+LinkSpec ClusterSpec::LinkBetween(DeviceId a, DeviceId b) const {
+  const MachineId ma = MachineOf(a), mb = MachineOf(b);
+  if (ma != mb) return network;
+  const MachineSpec& m = machine(ma);
+  return m.has_nvlink ? m.nvlink : m.pcie;
+}
+
+LinkSpec ClusterSpec::LinkToCpu(DeviceId dev, MachineId m) const {
+  if (MachineOf(dev) == m) return machine(m).pcie;
+  return network;
+}
+
+ClusterSpec SingleMachineCluster(std::int32_t num_gpus, bool nvlink) {
+  APT_CHECK_GT(num_gpus, 0);
+  ClusterSpec c;
+  MachineSpec m;
+  m.num_gpus = num_gpus;
+  m.has_nvlink = nvlink;
+  c.machines.push_back(m);
+  return c;
+}
+
+ClusterSpec MultiMachineCluster(std::int32_t num_machines, std::int32_t gpus_per_machine,
+                                bool nvlink) {
+  APT_CHECK_GT(num_machines, 0);
+  ClusterSpec c;
+  for (std::int32_t i = 0; i < num_machines; ++i) {
+    MachineSpec m;
+    m.num_gpus = gpus_per_machine;
+    m.has_nvlink = nvlink;
+    c.machines.push_back(m);
+  }
+  return c;
+}
+
+std::string DescribeCluster(const ClusterSpec& cluster) {
+  std::ostringstream os;
+  os << cluster.num_machines() << " machine(s), " << cluster.num_devices()
+     << " GPU(s) total; intra-machine "
+     << (cluster.machines.front().has_nvlink ? "NVLink" : "PCIe 3.0")
+     << ", inter-machine " << cluster.network.bandwidth_bytes_per_s / 1e9 << " GB/s";
+  return os.str();
+}
+
+}  // namespace apt

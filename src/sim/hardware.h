@@ -1,0 +1,81 @@
+// Hardware description of the simulated training platform.
+//
+// Substitution for the paper's testbed (8x NVIDIA T4 per machine, PCIe 3.0,
+// 100 Gbps Ethernet between machines). Numbers below are published
+// specifications with typical achievable efficiencies, not measurements —
+// the reproduction's result *shapes* depend only on their ratios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace apt {
+
+/// A point-to-point transfer channel: time(bytes) = latency + bytes / bandwidth.
+struct LinkSpec {
+  double bandwidth_bytes_per_s = 0.0;
+  double latency_s = 0.0;
+
+  double TransferSeconds(std::int64_t bytes) const {
+    return latency_s + (bandwidth_bytes_per_s > 0
+                            ? static_cast<double>(bytes) / bandwidth_bytes_per_s
+                            : 0.0);
+  }
+};
+
+/// One GPU worker.
+struct DeviceSpec {
+  double fp32_flops = 8.1e12;          ///< T4 peak fp32
+  double achievable_fraction = 0.35;   ///< typical SpMM/GEMM efficiency mix
+  std::int64_t memory_bytes = 16LL << 30;  ///< 16 GB
+  double mem_bandwidth_bytes_per_s = 300e9;
+  double kernel_launch_s = 8e-6;
+
+  double EffectiveFlops() const { return fp32_flops * achievable_fraction; }
+};
+
+struct MachineSpec {
+  std::int32_t num_gpus = 8;
+  DeviceSpec gpu;
+  LinkSpec pcie{12.0e9, 6e-6};        ///< GPU <-> host and GPU <-> GPU via PCIe 3.0 x16
+  bool has_nvlink = false;
+  LinkSpec nvlink{45.0e9, 3e-6};      ///< used between peer GPUs when present
+  std::int64_t cpu_memory_bytes = 378LL << 30;
+  double host_mem_bandwidth_bytes_per_s = 80e9;
+  double cpu_sample_edge_s = 1.2e-8;  ///< per sampled edge cost via UVA sampling
+};
+
+struct ClusterSpec {
+  std::vector<MachineSpec> machines;
+  LinkSpec network{11.0e9, 3e-5};     ///< 100 Gbps Ethernet, effective
+
+  std::int32_t num_machines() const { return static_cast<std::int32_t>(machines.size()); }
+  std::int32_t num_devices() const;
+
+  /// Global device id -> owning machine.
+  MachineId MachineOf(DeviceId dev) const;
+  /// Global device id -> index within its machine.
+  std::int32_t LocalIndex(DeviceId dev) const;
+
+  const MachineSpec& machine(MachineId m) const { return machines[static_cast<std::size_t>(m)]; }
+  const DeviceSpec& device(DeviceId dev) const { return machine(MachineOf(dev)).gpu; }
+
+  /// The channel used for a device-to-device transfer.
+  LinkSpec LinkBetween(DeviceId a, DeviceId b) const;
+  /// The channel used for a device reading from machine m's CPU memory.
+  LinkSpec LinkToCpu(DeviceId dev, MachineId m) const;
+};
+
+/// Paper platform: one machine with 8 T4 GPUs on PCIe 3.0.
+ClusterSpec SingleMachineCluster(std::int32_t num_gpus = 8, bool nvlink = false);
+/// Paper distributed platform: 4 machines x 4 GPUs, 100 Gbps Ethernet.
+ClusterSpec MultiMachineCluster(std::int32_t num_machines = 4,
+                                std::int32_t gpus_per_machine = 4,
+                                bool nvlink = false);
+
+std::string DescribeCluster(const ClusterSpec& cluster);
+
+}  // namespace apt

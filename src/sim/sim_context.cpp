@@ -1,0 +1,119 @@
+#include "sim/sim_context.h"
+
+#include <algorithm>
+
+namespace apt {
+
+const char* ToString(Phase p) {
+  switch (p) {
+    case Phase::kSample:
+      return "sample";
+    case Phase::kLoad:
+      return "load";
+    case Phase::kTrain:
+      return "train";
+  }
+  return "?";
+}
+
+SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
+  const auto n = static_cast<std::size_t>(cluster_.num_devices());
+  APT_CHECK_GT(n, 0u);
+  clocks_.assign(n, 0.0);
+  phase_time_.assign(n, {});
+  persistent_bytes_.assign(n, 0);
+  peak_bytes_.assign(n, 0);
+}
+
+void SimContext::Advance(DeviceId dev, double dt, Phase phase) {
+  APT_CHECK_GE(dt, 0.0) << "negative time step";
+  const std::size_t i = Check(dev);
+  clocks_[i] += dt;
+  phase_time_[i][static_cast<std::size_t>(phase)] += dt;
+}
+
+void SimContext::BarrierAll(Phase phase) {
+  const double target = MaxNow();
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    phase_time_[i][static_cast<std::size_t>(phase)] += target - clocks_[i];
+    clocks_[i] = target;
+  }
+}
+
+double SimContext::MaxNow() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+void SimContext::ResetClocks() {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  for (auto& p : phase_time_) p.fill(0.0);
+}
+
+double SimContext::PhaseTotal(Phase phase) const {
+  double t = 0.0;
+  for (const auto& p : phase_time_) t += p[static_cast<std::size_t>(phase)];
+  return t;
+}
+
+double SimContext::PhaseMax(Phase phase) const {
+  double t = 0.0;
+  for (const auto& p : phase_time_) {
+    t = std::max(t, p[static_cast<std::size_t>(phase)]);
+  }
+  return t;
+}
+
+double SimContext::PhaseOf(DeviceId dev, Phase phase) const {
+  return phase_time_[Check(dev)][static_cast<std::size_t>(phase)];
+}
+
+double SimContext::ComputeSeconds(DeviceId dev, double flops) const {
+  const DeviceSpec& spec = cluster_.device(dev);
+  return spec.kernel_launch_s + flops / spec.EffectiveFlops();
+}
+
+void SimContext::ChargeCompute(DeviceId dev, double flops) {
+  Advance(dev, ComputeSeconds(dev, flops), Phase::kTrain);
+}
+
+TrafficClass SimContext::ClassifyDeviceLink(DeviceId a, DeviceId b) const {
+  if (cluster_.MachineOf(a) != cluster_.MachineOf(b)) return TrafficClass::kCrossMachine;
+  return TrafficClass::kPeerGpu;
+}
+
+TrafficClass SimContext::ClassifyCpuLink(DeviceId dev, MachineId m) const {
+  if (cluster_.MachineOf(dev) != m) return TrafficClass::kCrossMachine;
+  return TrafficClass::kLocalCpuGpu;
+}
+
+void SimContext::AllocPersistent(DeviceId dev, std::int64_t bytes) {
+  const std::size_t i = Check(dev);
+  persistent_bytes_[i] += bytes;
+  peak_bytes_[i] = std::max(peak_bytes_[i], persistent_bytes_[i]);
+}
+
+void SimContext::NoteTransient(DeviceId dev, std::int64_t bytes) {
+  const std::size_t i = Check(dev);
+  peak_bytes_[i] = std::max(peak_bytes_[i], persistent_bytes_[i] + bytes);
+}
+
+std::int64_t SimContext::PeakMemory(DeviceId dev) const { return peak_bytes_[Check(dev)]; }
+
+bool SimContext::AnyOom() const { return !OomDevices().empty(); }
+
+std::vector<DeviceId> SimContext::OomDevices() const {
+  std::vector<DeviceId> out;
+  for (DeviceId d = 0; d < num_devices(); ++d) {
+    if (peak_bytes_[static_cast<std::size_t>(d)] > cluster_.device(d).memory_bytes) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+void SimContext::ResetMemory() {
+  std::fill(persistent_bytes_.begin(), persistent_bytes_.end(), 0);
+  std::fill(peak_bytes_.begin(), peak_bytes_.end(), 0);
+}
+
+}  // namespace apt

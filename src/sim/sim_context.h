@@ -1,0 +1,114 @@
+// Simulation context: per-device virtual clocks, phase-attributed time,
+// memory accounting, and traffic counters.
+//
+// Every cost in the reproduction — compute, feature loads, collective
+// shuffles — is charged here. The engine advances a device's clock as it
+// performs that device's (real, CPU-executed) work; collectives synchronize
+// clocks to the latest participant, exactly like a blocking NCCL call.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/types.h"
+#include "sim/hardware.h"
+
+namespace apt {
+
+/// Epoch-time components reported by the paper's stacked bars:
+/// sampling (incl. shuffling sampled subgraphs), feature loading, and
+/// training (incl. shuffling hidden embeddings).
+enum class Phase : int { kSample = 0, kLoad = 1, kTrain = 2 };
+inline constexpr int kNumPhases = 3;
+
+const char* ToString(Phase p);
+
+/// Traffic classes tracked for the cost model and reports.
+enum class TrafficClass : int {
+  kLocalCpuGpu = 0,   ///< PCIe: device <-> its machine's CPU memory
+  kPeerGpu = 1,       ///< intra-machine device <-> device
+  kCrossMachine = 2,  ///< Ethernet
+  kNumClasses = 3,
+};
+
+class SimContext {
+ public:
+  explicit SimContext(ClusterSpec cluster);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  std::int32_t num_devices() const { return static_cast<std::int32_t>(clocks_.size()); }
+
+  // --- clocks ---------------------------------------------------------
+
+  double Now(DeviceId dev) const { return clocks_[Check(dev)]; }
+
+  /// Advances dev's clock by dt seconds, attributing the time to `phase`.
+  void Advance(DeviceId dev, double dt, Phase phase);
+
+  /// Synchronizes all devices to the maximum clock (a blocking collective's
+  /// exit point). The wait time each device spends is attributed to `phase`.
+  void BarrierAll(Phase phase);
+
+  /// Max clock over all devices (the simulated wall time so far).
+  double MaxNow() const;
+
+  /// Resets clocks and phase accounting (not memory or traffic).
+  void ResetClocks();
+
+  /// Seconds attributed to `phase`, summed over devices / max over devices.
+  double PhaseTotal(Phase phase) const;
+  double PhaseMax(Phase phase) const;
+  /// Per-device attributed time.
+  double PhaseOf(DeviceId dev, Phase phase) const;
+
+  // --- compute cost helpers -------------------------------------------
+
+  /// Time for `flops` of dense/sparse math on dev (one kernel launch).
+  double ComputeSeconds(DeviceId dev, double flops) const;
+  /// Advance dev by a compute of `flops`, attributed to kTrain.
+  void ChargeCompute(DeviceId dev, double flops);
+
+  // --- traffic ----------------------------------------------------------
+
+  TrafficClass ClassifyDeviceLink(DeviceId a, DeviceId b) const;
+  TrafficClass ClassifyCpuLink(DeviceId dev, MachineId m) const;
+
+  void CountTraffic(TrafficClass c, std::int64_t bytes) {
+    traffic_bytes_[static_cast<std::size_t>(c)] += bytes;
+  }
+  std::int64_t TrafficBytes(TrafficClass c) const {
+    return traffic_bytes_[static_cast<std::size_t>(c)];
+  }
+  void ResetTraffic() { traffic_bytes_.fill(0); }
+
+  // --- memory -----------------------------------------------------------
+
+  /// Registers a persistent allocation (cache, parameters) on dev.
+  void AllocPersistent(DeviceId dev, std::int64_t bytes);
+  /// Tracks transient peak usage: call with the live transient bytes.
+  void NoteTransient(DeviceId dev, std::int64_t bytes);
+  std::int64_t PeakMemory(DeviceId dev) const;
+  /// True if any device's peak exceeded its capacity.
+  bool AnyOom() const;
+  std::vector<DeviceId> OomDevices() const;
+  void ResetMemory();
+
+ private:
+  std::size_t Check(DeviceId dev) const {
+    APT_CHECK(dev >= 0 && dev < num_devices()) << "device " << dev;
+    return static_cast<std::size_t>(dev);
+  }
+
+  ClusterSpec cluster_;
+  std::vector<double> clocks_;
+  std::vector<std::array<double, kNumPhases>> phase_time_;
+  std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
+      traffic_bytes_{};
+  std::vector<std::int64_t> persistent_bytes_;
+  std::vector<std::int64_t> peak_bytes_;
+};
+
+}  // namespace apt

@@ -1,0 +1,24 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace apt {
+
+void XavierUniform(Tensor& w, Rng& rng) {
+  const float fan_in = static_cast<float>(w.rows());
+  const float fan_out = static_cast<float>(w.cols());
+  const float a = std::sqrt(6.0f / (fan_in + fan_out));
+  UniformInit(w, rng, -a, a);
+}
+
+void UniformInit(Tensor& w, Rng& rng, float lo, float hi) {
+  float* p = w.data();
+  for (std::int64_t i = 0; i < w.numel(); ++i) p[i] = rng.NextUniform(lo, hi);
+}
+
+void GaussianInit(Tensor& w, Rng& rng, float stddev) {
+  float* p = w.data();
+  for (std::int64_t i = 0; i < w.numel(); ++i) p[i] = stddev * rng.NextGaussian();
+}
+
+}  // namespace apt

@@ -1,0 +1,18 @@
+// Parameter initializers (deterministic given an Rng).
+#pragma once
+
+#include "core/random.h"
+#include "tensor/tensor.h"
+
+namespace apt {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void XavierUniform(Tensor& w, Rng& rng);
+
+/// Uniform in [lo, hi).
+void UniformInit(Tensor& w, Rng& rng, float lo, float hi);
+
+/// i.i.d. N(0, stddev^2).
+void GaussianInit(Tensor& w, Rng& rng, float stddev);
+
+}  // namespace apt

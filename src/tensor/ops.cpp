@@ -1,0 +1,257 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/parallel_for.h"
+
+namespace apt {
+
+namespace {
+
+// Grain for row-parallel kernels: keep serial below ~16k elements.
+std::int64_t RowGrain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, cols));
+}
+
+}  // namespace
+
+void Matmul(const Tensor& a, const Tensor& b, Tensor& c, float alpha, float beta) {
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  APT_CHECK_EQ(b.rows(), k);
+  APT_CHECK_EQ(c.rows(), m);
+  APT_CHECK_EQ(c.cols(), n);
+  ParallelFor(0, m, [&](std::int64_t i) {
+    float* crow = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a.data() + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }, RowGrain(k + n));
+}
+
+void MatmulTN(const Tensor& a, const Tensor& b, Tensor& c, float alpha, float beta) {
+  // A is [k, m]; C = A^T B is [m, n].
+  const std::int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  APT_CHECK_EQ(b.rows(), k);
+  APT_CHECK_EQ(c.rows(), m);
+  APT_CHECK_EQ(c.cols(), n);
+  ParallelFor(0, m, [&](std::int64_t i) {
+    float* crow = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a(p, i);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }, RowGrain(k + n));
+}
+
+void MatmulNT(const Tensor& a, const Tensor& b, Tensor& c, float alpha, float beta) {
+  // B is [n, k]; C = A B^T is [m, n].
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  APT_CHECK_EQ(b.cols(), k);
+  APT_CHECK_EQ(c.rows(), m);
+  APT_CHECK_EQ(c.cols(), n);
+  ParallelFor(0, m, [&](std::int64_t i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }, RowGrain(k + n));
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor& y) {
+  APT_CHECK(x.SameShape(y)) << x.ShapeString() << " vs " << y.ShapeString();
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::int64_t n = x.numel();
+  ParallelFor(0, n, [&](std::int64_t i) { yp[i] += alpha * xp[i]; }, 1 << 15);
+}
+
+void Scale(Tensor& x, float alpha) {
+  float* xp = x.data();
+  const std::int64_t n = x.numel();
+  ParallelFor(0, n, [&](std::int64_t i) { xp[i] *= alpha; }, 1 << 15);
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor& out) {
+  APT_CHECK(a.SameShape(b));
+  APT_CHECK(a.SameShape(out));
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  ParallelFor(0, a.numel(), [&](std::int64_t i) { op[i] = ap[i] + bp[i]; }, 1 << 15);
+}
+
+void AddBiasRows(Tensor& x, const Tensor& bias) {
+  APT_CHECK_EQ(bias.rows(), 1);
+  APT_CHECK_EQ(bias.cols(), x.cols());
+  const std::int64_t n = x.cols();
+  const float* bp = bias.data();
+  ParallelFor(0, x.rows(), [&](std::int64_t i) {
+    float* xrow = x.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) xrow[j] += bp[j];
+  }, RowGrain(n));
+}
+
+void BiasGradRows(const Tensor& grad, Tensor& grad_bias) {
+  APT_CHECK_EQ(grad_bias.rows(), 1);
+  APT_CHECK_EQ(grad_bias.cols(), grad.cols());
+  grad_bias.Zero();
+  float* gb = grad_bias.data();
+  const std::int64_t n = grad.cols();
+  for (std::int64_t i = 0; i < grad.rows(); ++i) {
+    const float* grow = grad.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) gb[j] += grow[j];
+  }
+}
+
+void Relu(const Tensor& x, Tensor& out) {
+  APT_CHECK(x.SameShape(out));
+  const float* xp = x.data();
+  float* op = out.data();
+  ParallelFor(0, x.numel(), [&](std::int64_t i) { op[i] = xp[i] > 0.0f ? xp[i] : 0.0f; },
+              1 << 15);
+}
+
+void ReluBackward(const Tensor& x, const Tensor& grad_y, Tensor& grad_x) {
+  APT_CHECK(x.SameShape(grad_y));
+  APT_CHECK(x.SameShape(grad_x));
+  const float* xp = x.data();
+  const float* gy = grad_y.data();
+  float* gx = grad_x.data();
+  ParallelFor(0, x.numel(), [&](std::int64_t i) { gx[i] = xp[i] > 0.0f ? gy[i] : 0.0f; },
+              1 << 15);
+}
+
+void LeakyRelu(const Tensor& x, Tensor& out, float slope) {
+  APT_CHECK(x.SameShape(out));
+  const float* xp = x.data();
+  float* op = out.data();
+  ParallelFor(0, x.numel(),
+              [&](std::int64_t i) { op[i] = xp[i] > 0.0f ? xp[i] : slope * xp[i]; }, 1 << 15);
+}
+
+void LeakyReluBackward(const Tensor& x, const Tensor& grad_y, Tensor& grad_x,
+                       float slope) {
+  APT_CHECK(x.SameShape(grad_y));
+  APT_CHECK(x.SameShape(grad_x));
+  const float* xp = x.data();
+  const float* gy = grad_y.data();
+  float* gx = grad_x.data();
+  ParallelFor(0, x.numel(),
+              [&](std::int64_t i) { gx[i] = xp[i] > 0.0f ? gy[i] : slope * gy[i]; }, 1 << 15);
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  APT_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  float m = 0.0f;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(ap[i] - bp[i]));
+  }
+  return m;
+}
+
+double SumSquares(const Tensor& x) {
+  double s = 0.0;
+  const float* xp = x.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) s += static_cast<double>(xp[i]) * xp[i];
+  return s;
+}
+
+void GatherRows(const Tensor& src, std::span<const std::int64_t> index, Tensor& out) {
+  APT_CHECK_EQ(out.rows(), static_cast<std::int64_t>(index.size()));
+  APT_CHECK_EQ(out.cols(), src.cols());
+  const std::int64_t n = src.cols();
+  ParallelFor(0, out.rows(), [&](std::int64_t i) {
+    const std::int64_t r = index[static_cast<std::size_t>(i)];
+    APT_CHECK(r >= 0 && r < src.rows()) << "gather index " << r << " of " << src.rows();
+    std::copy_n(src.data() + r * n, n, out.data() + i * n);
+  }, RowGrain(n));
+}
+
+void ScatterAddRows(const Tensor& src, std::span<const std::int64_t> index, Tensor& dst) {
+  APT_CHECK_EQ(src.rows(), static_cast<std::int64_t>(index.size()));
+  APT_CHECK_EQ(src.cols(), dst.cols());
+  const std::int64_t n = src.cols();
+  // Serial: indices may repeat, so a parallel version would race.
+  for (std::int64_t i = 0; i < src.rows(); ++i) {
+    const std::int64_t r = index[static_cast<std::size_t>(i)];
+    APT_CHECK(r >= 0 && r < dst.rows()) << "scatter index " << r << " of " << dst.rows();
+    const float* srow = src.data() + i * n;
+    float* drow = dst.data() + r * n;
+    for (std::int64_t j = 0; j < n; ++j) drow[j] += srow[j];
+  }
+}
+
+void ScatterRows(const Tensor& src, std::span<const std::int64_t> index, Tensor& dst) {
+  APT_CHECK_EQ(src.rows(), static_cast<std::int64_t>(index.size()));
+  APT_CHECK_EQ(src.cols(), dst.cols());
+  const std::int64_t n = src.cols();
+  ParallelFor(0, src.rows(), [&](std::int64_t i) {
+    const std::int64_t r = index[static_cast<std::size_t>(i)];
+    APT_CHECK(r >= 0 && r < dst.rows()) << "scatter index " << r << " of " << dst.rows();
+    std::copy_n(src.data() + i * n, n, dst.data() + r * n);
+  }, RowGrain(n));
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, std::span<const std::int64_t> labels,
+                          Tensor* grad, std::int64_t* count_correct) {
+  const std::int64_t m = logits.rows(), n = logits.cols();
+  APT_CHECK_EQ(static_cast<std::int64_t>(labels.size()), m);
+  if (grad != nullptr) {
+    APT_CHECK(grad->SameShape(logits));
+  }
+  double total_loss = 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = logits.data() + i * n;
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    APT_CHECK(label >= 0 && label < n) << "label " << label << " for " << n << " classes";
+    float maxv = row[0];
+    std::int64_t argmax = 0;
+    for (std::int64_t j = 1; j < n; ++j) {
+      if (row[j] > maxv) {
+        maxv = row[j];
+        argmax = j;
+      }
+    }
+    if (argmax == label) ++correct;
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) denom += std::exp(static_cast<double>(row[j] - maxv));
+    const double log_denom = std::log(denom);
+    total_loss += log_denom - static_cast<double>(row[label] - maxv);
+    if (grad != nullptr) {
+      float* grow = grad->data() + i * n;
+      const float inv_m = 1.0f / static_cast<float>(m);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double p = std::exp(static_cast<double>(row[j] - maxv)) / denom;
+        grow[j] = inv_m * static_cast<float>(p - (j == label ? 1.0 : 0.0));
+      }
+    }
+  }
+  if (count_correct != nullptr) *count_correct = correct;
+  return m > 0 ? static_cast<float>(total_loss / m) : 0.0f;
+}
+
+}  // namespace apt

@@ -1,0 +1,245 @@
+#include "tensor/segment_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "runtime/parallel_for.h"
+
+namespace apt {
+
+namespace {
+
+void CheckCsr(const CsrView& csr, const Tensor& src, const Tensor& out) {
+  APT_CHECK_GE(csr.num_dst(), 0);
+  APT_CHECK_EQ(out.rows(), csr.num_dst());
+  APT_CHECK_EQ(out.cols(), src.cols());
+  APT_CHECK_EQ(csr.indptr[static_cast<std::size_t>(csr.num_dst())], csr.num_edges());
+}
+
+}  // namespace
+
+void SpmmSum(const CsrView& csr, const Tensor& src, Tensor& out) {
+  CheckCsr(csr, src, out);
+  const std::int64_t dim = src.cols();
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    float* orow = out.data() + d * dim;
+    std::fill(orow, orow + dim, 0.0f);
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const float* srow = src.row(csr.col[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < dim; ++j) orow[j] += srow[j];
+    }
+  }, 64);
+}
+
+void SpmmSumBackward(const CsrView& csr, const Tensor& grad_out, Tensor& grad_src) {
+  APT_CHECK_EQ(grad_out.rows(), csr.num_dst());
+  APT_CHECK_EQ(grad_out.cols(), grad_src.cols());
+  const std::int64_t dim = grad_src.cols();
+  // Serial over destinations: multiple edges may share a source row.
+  for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+    const float* grow = grad_out.data() + d * dim;
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      float* srow = grad_src.row(csr.col[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < dim; ++j) srow[j] += grow[j];
+    }
+  }
+}
+
+void SpmmMean(const CsrView& csr, const Tensor& src, Tensor& out) {
+  CheckCsr(csr, src, out);
+  const std::int64_t dim = src.cols();
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    float* orow = out.data() + d * dim;
+    std::fill(orow, orow + dim, 0.0f);
+    const std::int64_t deg = csr.indptr[d + 1] - csr.indptr[d];
+    if (deg == 0) return;
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const float* srow = src.row(csr.col[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < dim; ++j) orow[j] += srow[j];
+    }
+    const float inv = 1.0f / static_cast<float>(deg);
+    for (std::int64_t j = 0; j < dim; ++j) orow[j] *= inv;
+  }, 64);
+}
+
+void SpmmMeanBackward(const CsrView& csr, const Tensor& grad_out, Tensor& grad_src) {
+  APT_CHECK_EQ(grad_out.rows(), csr.num_dst());
+  APT_CHECK_EQ(grad_out.cols(), grad_src.cols());
+  const std::int64_t dim = grad_src.cols();
+  for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+    const std::int64_t deg = csr.indptr[d + 1] - csr.indptr[d];
+    if (deg == 0) continue;
+    const float inv = 1.0f / static_cast<float>(deg);
+    const float* grow = grad_out.data() + d * dim;
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      float* srow = grad_src.row(csr.col[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < dim; ++j) srow[j] += inv * grow[j];
+    }
+  }
+}
+
+void SpmmWeightedSum(const CsrView& csr, std::span<const float> edge_w,
+                     const Tensor& src, Tensor& out) {
+  CheckCsr(csr, src, out);
+  APT_CHECK_EQ(static_cast<std::int64_t>(edge_w.size()), csr.num_edges());
+  const std::int64_t dim = src.cols();
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    float* orow = out.data() + d * dim;
+    std::fill(orow, orow + dim, 0.0f);
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const float w = edge_w[static_cast<std::size_t>(e)];
+      const float* srow = src.row(csr.col[static_cast<std::size_t>(e)]);
+      for (std::int64_t j = 0; j < dim; ++j) orow[j] += w * srow[j];
+    }
+  }, 64);
+}
+
+void SpmmWeightedSumBackward(const CsrView& csr, std::span<const float> edge_w,
+                             const Tensor& src, const Tensor& grad_out,
+                             std::span<float> grad_w, Tensor* grad_src) {
+  APT_CHECK_EQ(grad_out.rows(), csr.num_dst());
+  APT_CHECK_EQ(static_cast<std::int64_t>(edge_w.size()), csr.num_edges());
+  const std::int64_t dim = src.cols();
+  if (!grad_w.empty()) {
+    APT_CHECK_EQ(static_cast<std::int64_t>(grad_w.size()), csr.num_edges());
+  }
+  for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+    const float* grow = grad_out.data() + d * dim;
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const std::int64_t s = csr.col[static_cast<std::size_t>(e)];
+      if (!grad_w.empty()) {
+        const float* srow = src.row(s);
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < dim; ++j) acc += grow[j] * srow[j];
+        grad_w[static_cast<std::size_t>(e)] += acc;
+      }
+      if (grad_src != nullptr) {
+        const float w = edge_w[static_cast<std::size_t>(e)];
+        float* gsrow = grad_src->row(s);
+        for (std::int64_t j = 0; j < dim; ++j) gsrow[j] += w * grow[j];
+      }
+    }
+  }
+}
+
+void SddmmAdd(const CsrView& csr, std::span<const float> a_src,
+              std::span<const float> a_dst, std::span<float> score) {
+  APT_CHECK_EQ(static_cast<std::int64_t>(score.size()), csr.num_edges());
+  APT_CHECK_EQ(static_cast<std::int64_t>(a_dst.size()), csr.num_dst());
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const std::int64_t s = csr.col[static_cast<std::size_t>(e)];
+      score[static_cast<std::size_t>(e)] =
+          a_src[static_cast<std::size_t>(s)] + a_dst[static_cast<std::size_t>(d)];
+    }
+  }, 256);
+}
+
+void SddmmAddBackward(const CsrView& csr, std::span<const float> grad_score,
+                      std::span<float> grad_a_src, std::span<float> grad_a_dst) {
+  APT_CHECK_EQ(static_cast<std::int64_t>(grad_score.size()), csr.num_edges());
+  APT_CHECK_EQ(static_cast<std::int64_t>(grad_a_dst.size()), csr.num_dst());
+  for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+    for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+      const std::int64_t s = csr.col[static_cast<std::size_t>(e)];
+      grad_a_src[static_cast<std::size_t>(s)] += grad_score[static_cast<std::size_t>(e)];
+      grad_a_dst[static_cast<std::size_t>(d)] += grad_score[static_cast<std::size_t>(e)];
+    }
+  }
+}
+
+void SegmentSoftmax(const CsrView& csr, std::span<const float> score,
+                    std::span<float> out) {
+  APT_CHECK_EQ(score.size(), out.size());
+  APT_CHECK_EQ(static_cast<std::int64_t>(score.size()), csr.num_edges());
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    const std::int64_t lo = csr.indptr[d], hi = csr.indptr[d + 1];
+    if (lo == hi) return;
+    float maxv = score[static_cast<std::size_t>(lo)];
+    for (std::int64_t e = lo + 1; e < hi; ++e) {
+      maxv = std::max(maxv, score[static_cast<std::size_t>(e)]);
+    }
+    double denom = 0.0;
+    for (std::int64_t e = lo; e < hi; ++e) {
+      denom += std::exp(static_cast<double>(score[static_cast<std::size_t>(e)] - maxv));
+    }
+    for (std::int64_t e = lo; e < hi; ++e) {
+      out[static_cast<std::size_t>(e)] = static_cast<float>(
+          std::exp(static_cast<double>(score[static_cast<std::size_t>(e)] - maxv)) / denom);
+    }
+  }, 256);
+}
+
+void SegmentSoftmaxBackward(const CsrView& csr, std::span<const float> out,
+                            std::span<const float> grad_out,
+                            std::span<float> grad_score) {
+  APT_CHECK_EQ(out.size(), grad_out.size());
+  APT_CHECK_EQ(out.size(), grad_score.size());
+  ParallelFor(0, csr.num_dst(), [&](std::int64_t d) {
+    const std::int64_t lo = csr.indptr[d], hi = csr.indptr[d + 1];
+    double dot = 0.0;
+    for (std::int64_t e = lo; e < hi; ++e) {
+      dot += static_cast<double>(out[static_cast<std::size_t>(e)]) *
+             grad_out[static_cast<std::size_t>(e)];
+    }
+    for (std::int64_t e = lo; e < hi; ++e) {
+      const std::size_t idx = static_cast<std::size_t>(e);
+      grad_score[idx] = out[idx] * (grad_out[idx] - static_cast<float>(dot));
+    }
+  }, 256);
+}
+
+void SegmentedSpmmMean(std::span<const CsrView> segments,
+                       std::span<const std::int64_t> src_offsets,
+                       std::span<const std::int64_t> dst_offsets, const Tensor& src,
+                       Tensor& out) {
+  APT_CHECK_EQ(src_offsets.size(), segments.size() + 1);
+  APT_CHECK_EQ(dst_offsets.size(), segments.size() + 1);
+  const std::int64_t dim = src.cols();
+  APT_CHECK_EQ(out.cols(), dim);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const CsrView& csr = segments[s];
+    const std::int64_t src_base = src_offsets[s];
+    const std::int64_t dst_base = dst_offsets[s];
+    APT_CHECK_EQ(dst_offsets[s + 1] - dst_base, csr.num_dst());
+    for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+      float* orow = out.row(dst_base + d);
+      std::fill(orow, orow + dim, 0.0f);
+      const std::int64_t deg = csr.indptr[d + 1] - csr.indptr[d];
+      if (deg == 0) continue;
+      for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+        const float* srow = src.row(src_base + csr.col[static_cast<std::size_t>(e)]);
+        for (std::int64_t j = 0; j < dim; ++j) orow[j] += srow[j];
+      }
+      const float inv = 1.0f / static_cast<float>(deg);
+      for (std::int64_t j = 0; j < dim; ++j) orow[j] *= inv;
+    }
+  }
+}
+
+void SegmentedSpmmMeanBackward(std::span<const CsrView> segments,
+                               std::span<const std::int64_t> src_offsets,
+                               std::span<const std::int64_t> dst_offsets,
+                               const Tensor& grad_out, Tensor& grad_src) {
+  APT_CHECK_EQ(src_offsets.size(), segments.size() + 1);
+  APT_CHECK_EQ(dst_offsets.size(), segments.size() + 1);
+  const std::int64_t dim = grad_src.cols();
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const CsrView& csr = segments[s];
+    const std::int64_t src_base = src_offsets[s];
+    const std::int64_t dst_base = dst_offsets[s];
+    for (std::int64_t d = 0; d < csr.num_dst(); ++d) {
+      const std::int64_t deg = csr.indptr[d + 1] - csr.indptr[d];
+      if (deg == 0) continue;
+      const float inv = 1.0f / static_cast<float>(deg);
+      const float* grow = grad_out.row(dst_base + d);
+      for (std::int64_t e = csr.indptr[d]; e < csr.indptr[d + 1]; ++e) {
+        float* srow = grad_src.row(src_base + csr.col[static_cast<std::size_t>(e)]);
+        for (std::int64_t j = 0; j < dim; ++j) srow[j] += inv * grow[j];
+      }
+    }
+  }
+}
+
+}  // namespace apt

@@ -1,0 +1,99 @@
+// Sparse kernels over bipartite CSR structures (the DGL SpMM / SDDMM
+// equivalents the unified engine executes on each simulated GPU).
+//
+// A bipartite layer has `num_dst` destination rows; `indptr` (size
+// num_dst + 1) delimits each destination's incoming edges and `col[e]`
+// names the *local* source row of edge e. Features are dense Tensors.
+//
+// The Segmented* variants run the same kernel over a batch of independent
+// bipartite graphs laid out back to back — the paper's SegmentedSpMM /
+// SegmentedSDDMM used by NFP, which broadcasts every GPU's layer-1
+// computation graph and executes them jointly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apt {
+
+/// View of one bipartite adjacency (no ownership).
+struct CsrView {
+  std::span<const std::int64_t> indptr;  ///< size num_dst + 1
+  std::span<const std::int64_t> col;     ///< size num_edges, local src ids
+  std::int64_t num_dst() const { return static_cast<std::int64_t>(indptr.size()) - 1; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(col.size()); }
+};
+
+// ---------------------------------------------------------------------------
+// SpMM with sum / mean reduction.
+// ---------------------------------------------------------------------------
+
+/// out.row(d) = sum_{e in d} src.row(col[e]); out must be num_dst x d.
+void SpmmSum(const CsrView& csr, const Tensor& src, Tensor& out);
+/// grad_src.row(col[e]) += grad_out.row(d) for each edge (accumulates).
+void SpmmSumBackward(const CsrView& csr, const Tensor& grad_out, Tensor& grad_src);
+
+/// out.row(d) = mean over d's edges (empty rows produce zeros).
+void SpmmMean(const CsrView& csr, const Tensor& src, Tensor& out);
+/// grad_src.row(col[e]) += grad_out.row(d) / deg(d) (accumulates).
+void SpmmMeanBackward(const CsrView& csr, const Tensor& grad_out, Tensor& grad_src);
+
+// ---------------------------------------------------------------------------
+// Edge-weighted SpMM (GAT aggregation after softmax).
+// ---------------------------------------------------------------------------
+
+/// out.row(d) = sum_{e in d} w[e] * src.row(col[e]). w has one value per edge.
+void SpmmWeightedSum(const CsrView& csr, std::span<const float> edge_w,
+                     const Tensor& src, Tensor& out);
+/// Gradients of the weighted sum w.r.t. both edge weights and src features.
+/// grad_w[e] += <grad_out.row(d), src.row(col[e])>;
+/// grad_src.row(col[e]) += w[e] * grad_out.row(d). Either output may be null.
+void SpmmWeightedSumBackward(const CsrView& csr, std::span<const float> edge_w,
+                             const Tensor& src, const Tensor& grad_out,
+                             std::span<float> grad_w, Tensor* grad_src);
+
+// ---------------------------------------------------------------------------
+// SDDMM: per-edge scores from node vectors (GAT attention logits).
+// ---------------------------------------------------------------------------
+
+/// score[e] = a_src[col[e]] + a_dst[d] — the additive GAT logit form, where
+/// a_src / a_dst are per-node scalars (one column per head handled by caller).
+void SddmmAdd(const CsrView& csr, std::span<const float> a_src,
+              std::span<const float> a_dst, std::span<float> score);
+/// Backward: grad_a_src[col[e]] += grad_score[e]; grad_a_dst[d] += grad_score[e].
+void SddmmAddBackward(const CsrView& csr, std::span<const float> grad_score,
+                      std::span<float> grad_a_src, std::span<float> grad_a_dst);
+
+// ---------------------------------------------------------------------------
+// Segment softmax over each destination's incoming edges.
+// ---------------------------------------------------------------------------
+
+/// out[e] = softmax over edges of the same destination (max-stabilized).
+void SegmentSoftmax(const CsrView& csr, std::span<const float> score,
+                    std::span<float> out);
+/// grad_score[e] = out[e] * (grad_out[e] - sum_d(out .* grad_out)).
+void SegmentSoftmaxBackward(const CsrView& csr, std::span<const float> out,
+                            std::span<const float> grad_out,
+                            std::span<float> grad_score);
+
+// ---------------------------------------------------------------------------
+// Segmented batch variants (NFP joint execution).
+// ---------------------------------------------------------------------------
+
+/// Runs SpmmMean over `segments` independent graphs; segment s reads rows
+/// [src_offsets[s], src_offsets[s+1]) of src and writes rows
+/// [dst_offsets[s], dst_offsets[s+1]) of out. Each CsrView's col indices are
+/// local to its own segment.
+void SegmentedSpmmMean(std::span<const CsrView> segments,
+                       std::span<const std::int64_t> src_offsets,
+                       std::span<const std::int64_t> dst_offsets, const Tensor& src,
+                       Tensor& out);
+void SegmentedSpmmMeanBackward(std::span<const CsrView> segments,
+                               std::span<const std::int64_t> src_offsets,
+                               std::span<const std::int64_t> dst_offsets,
+                               const Tensor& grad_out, Tensor& grad_src);
+
+}  // namespace apt

@@ -1,0 +1,13 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace apt {
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << ", " << cols_ << "]";
+  return os.str();
+}
+
+}  // namespace apt

@@ -1,0 +1,91 @@
+// A minimal dense 2-D float32 tensor.
+//
+// This is the numeric substrate standing in for the GPU tensors that DGL /
+// PyTorch provide in the original APT implementation. Row-major, owning,
+// value-semantic. Kernels live in ops.h / segment_ops.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace apt {
+
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols tensor.
+  Tensor(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), 0.0f) {
+    APT_CHECK_GE(rows, 0);
+    APT_CHECK_GE(cols, 0);
+  }
+
+  Tensor(std::int64_t rows, std::int64_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    APT_CHECK_EQ(static_cast<std::int64_t>(data_.size()), rows * cols);
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the beginning of row r.
+  float* row(std::int64_t r) {
+    APT_CHECK(r >= 0 && r < rows_) << "row " << r << " of " << rows_;
+    return data_.data() + r * cols_;
+  }
+  const float* row(std::int64_t r) const {
+    APT_CHECK(r >= 0 && r < rows_) << "row " << r << " of " << rows_;
+    return data_.data() + r * cols_;
+  }
+  std::span<float> row_span(std::int64_t r) { return {row(r), static_cast<std::size_t>(cols_)}; }
+  std::span<const float> row_span(std::int64_t r) const {
+    return {row(r), static_cast<std::size_t>(cols_)};
+  }
+
+  float& at(std::int64_t r, std::int64_t c) {
+    APT_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "(" << r << "," << c << ") of (" << rows_ << "," << cols_ << ")";
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    APT_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "(" << r << "," << c << ") of (" << rows_ << "," << cols_ << ")";
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Unchecked element access for hot kernels.
+  float& operator()(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float operator()(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  bool SameShape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  std::string ShapeString() const;
+
+  /// Total payload size in bytes (what the simulator charges for transfers).
+  std::int64_t bytes() const { return numel() * static_cast<std::int64_t>(sizeof(float)); }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace apt

@@ -1,0 +1,118 @@
+// Planner/dry-run behaviour for attention models and multi-machine
+// platforms (the qualitative claims of paper §5.2-5.3 as unit tests).
+#include <gtest/gtest.h>
+
+#include "apt/planner.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::SmallDataset;
+
+struct GatFixture {
+  Dataset ds = SmallDataset(/*feature_dim=*/64, /*nodes=*/3000);
+  std::vector<PartId> partition;
+  EngineOptions opts;
+
+  GatFixture() {
+    MultilevelPartitioner ml;
+    partition = ml.Partition(ds.graph, 4);
+    opts.fanouts = {5, 5};
+    opts.batch_size_per_device = 128;
+    opts.cache_bytes_per_device = 64 << 10;
+  }
+
+  ModelConfig Model(ModelKind kind, std::int64_t hidden = 16) const {
+    ModelConfig m;
+    m.kind = kind;
+    m.num_layers = 2;
+    m.hidden_dim = hidden;
+    m.gat_heads = 2;
+    m.input_dim = ds.feature_dim();
+    m.num_classes = ds.num_classes;
+    return m;
+  }
+};
+
+TEST(DryRunGatTest, AttentionInflatesSnpAndNfpShuffles) {
+  // §5.3: with attention, SNP ships per-source projected rows (not
+  // per-virtual-node partials) and NFP allreduces per-source projections —
+  // both shuffle strictly more rows than their SAGE counterparts.
+  GatFixture f;
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  const DryRunResult sage = DryRun(f.ds, cluster, f.partition, f.opts,
+                                   f.Model(ModelKind::kSage));
+  const DryRunResult gat =
+      DryRun(f.ds, cluster, f.partition, f.opts, f.Model(ModelKind::kGat));
+  for (Strategy s : {Strategy::kNFP, Strategy::kSNP}) {
+    EXPECT_GT(gat.per_strategy[static_cast<std::size_t>(s)].shuffle_rows,
+              sage.per_strategy[static_cast<std::size_t>(s)].shuffle_rows)
+        << ToString(s);
+  }
+  // DNP is attention-agnostic: one shuffled row per remote destination.
+  EXPECT_EQ(gat.per_strategy[static_cast<std::size_t>(Strategy::kDNP)].shuffle_rows,
+            sage.per_strategy[static_cast<std::size_t>(Strategy::kDNP)].shuffle_rows);
+}
+
+TEST(DryRunGatTest, NfpTransientMemoryGrowsWithHiddenDim) {
+  GatFixture f;
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  const DryRunResult small =
+      DryRun(f.ds, cluster, f.partition, f.opts, f.Model(ModelKind::kGat, 8));
+  const DryRunResult large =
+      DryRun(f.ds, cluster, f.partition, f.opts, f.Model(ModelKind::kGat, 64));
+  EXPECT_GT(
+      large.per_strategy[static_cast<std::size_t>(Strategy::kNFP)].peak_transient_bytes,
+      4 * small.per_strategy[static_cast<std::size_t>(Strategy::kNFP)]
+              .peak_transient_bytes);
+}
+
+TEST(DryRunGatTest, NfpMarkedInfeasibleOnSmallDevices) {
+  GatFixture f;
+  ClusterSpec cluster = SingleMachineCluster(4);
+  // Scale device memory down until NFP's (largest) transient no longer fits.
+  const DryRunResult probe =
+      DryRun(f.ds, cluster, f.partition, f.opts, f.Model(ModelKind::kGat, 64));
+  const auto& nfp = probe.per_strategy[static_cast<std::size_t>(Strategy::kNFP)];
+  const auto& gdp = probe.per_strategy[static_cast<std::size_t>(Strategy::kGDP)];
+  ASSERT_GT(nfp.peak_transient_bytes, gdp.peak_transient_bytes);
+  cluster.machines[0].gpu.memory_bytes =
+      (nfp.peak_transient_bytes + gdp.peak_transient_bytes) / 2;
+  const PlanReport plan = MakePlan(f.ds, cluster, f.partition, f.opts,
+                                   f.Model(ModelKind::kGat, 64));
+  EXPECT_FALSE(
+      plan.estimates[static_cast<std::size_t>(Strategy::kNFP)].feasible);
+  EXPECT_NE(plan.selected, Strategy::kNFP);
+}
+
+TEST(PlannerMultiMachineTest, AvoidsNfpAcrossMachines) {
+  // Fig 9: NFP's allreduce of every destination's partial embedding is
+  // crippling across 100 Gbps Ethernet; the planner must never pick it.
+  GatFixture f;
+  const PlanReport plan = MakePlan(f.ds, MultiMachineCluster(2, 2), f.partition,
+                                   f.opts, f.Model(ModelKind::kSage));
+  EXPECT_NE(plan.selected, Strategy::kNFP);
+  const double nfp =
+      plan.estimates[static_cast<std::size_t>(Strategy::kNFP)].Comparable();
+  const double gdp =
+      plan.estimates[static_cast<std::size_t>(Strategy::kGDP)].Comparable();
+  EXPECT_GT(nfp, gdp);
+}
+
+TEST(PlannerMultiMachineTest, ShufflesCostMoreAcrossMachines) {
+  GatFixture f;
+  const ModelConfig model = f.Model(ModelKind::kSage);
+  const DryRunResult single =
+      DryRun(f.ds, SingleMachineCluster(4), f.partition, f.opts, model);
+  const DryRunResult multi =
+      DryRun(f.ds, MultiMachineCluster(2, 2), f.partition, f.opts, model);
+  for (Strategy s : {Strategy::kNFP, Strategy::kSNP, Strategy::kDNP}) {
+    EXPECT_GT(multi.per_strategy[static_cast<std::size_t>(s)].shuffle_seconds,
+              single.per_strategy[static_cast<std::size_t>(s)].shuffle_seconds)
+        << ToString(s);
+  }
+}
+
+}  // namespace
+}  // namespace apt

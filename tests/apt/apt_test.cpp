@@ -1,0 +1,216 @@
+// Tests for the APT core: dry-run, cost models, planner, adapter, system.
+#include <gtest/gtest.h>
+
+#include "apt/apt_system.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::SmallDataset;
+
+struct PlanFixture {
+  Dataset ds = SmallDataset(/*feature_dim=*/64, /*nodes=*/3000);
+  ClusterSpec cluster = SingleMachineCluster(4);
+  ModelConfig model;
+  EngineOptions opts;
+  std::vector<PartId> partition;
+
+  PlanFixture() {
+    model.kind = ModelKind::kSage;
+    model.num_layers = 2;
+    model.hidden_dim = 16;
+    model.input_dim = ds.feature_dim();
+    model.num_classes = ds.num_classes;
+    opts.fanouts = {5, 5};
+    opts.batch_size_per_device = 128;
+    opts.cache_bytes_per_device = 64 << 10;
+    MultilevelPartitioner ml;
+    partition = ml.Partition(ds.graph, cluster.num_devices());
+  }
+};
+
+TEST(DryRunTest, CollectsHotnessAndVolumes) {
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  EXPECT_EQ(static_cast<NodeId>(dry.hotness.size()), f.ds.graph.num_nodes());
+  std::int64_t total = 0;
+  for (auto h : dry.hotness) total += h;
+  EXPECT_GT(total, 0);
+  for (Strategy s : kAllStrategies) {
+    const StrategyDryRun& st = dry.per_strategy[static_cast<std::size_t>(s)];
+    EXPECT_GT(st.sample_seconds, 0.0) << ToString(s);
+    EXPECT_EQ(st.load.size(), 4u);
+    EXPECT_GT(st.load_seconds, 0.0) << ToString(s);
+    EXPECT_GT(st.peak_transient_bytes, 0) << ToString(s);
+  }
+  EXPECT_GE(dry.wall_seconds, 0.0);
+}
+
+TEST(DryRunTest, GdpHasNoShuffleOrGraphExchange) {
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  const auto& gdp = dry.per_strategy[static_cast<std::size_t>(Strategy::kGDP)];
+  EXPECT_EQ(gdp.graph_shuffle_bytes, 0);
+  EXPECT_EQ(gdp.shuffle_bytes, 0);
+  EXPECT_DOUBLE_EQ(gdp.shuffle_seconds, 0.0);
+}
+
+TEST(DryRunTest, OtherStrategiesDoShuffle) {
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  for (Strategy s : {Strategy::kNFP, Strategy::kSNP, Strategy::kDNP}) {
+    const auto& st = dry.per_strategy[static_cast<std::size_t>(s)];
+    EXPECT_GT(st.graph_shuffle_bytes, 0) << ToString(s);
+    EXPECT_GT(st.shuffle_bytes, 0) << ToString(s);
+  }
+}
+
+TEST(DryRunTest, DnpShufflesFewerRowsThanNfp) {
+  // Paper §3.3: each DNP destination shuffles at most one embedding; NFP
+  // shuffles every destination on every device.
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  EXPECT_LT(dry.per_strategy[static_cast<std::size_t>(Strategy::kDNP)].shuffle_bytes,
+            dry.per_strategy[static_cast<std::size_t>(Strategy::kNFP)].shuffle_bytes);
+}
+
+TEST(DryRunTest, SnpSeesFewerCpuReadsThanGdpWithCache) {
+  // With partition-aligned caches, SNP's loads hit the cache more than
+  // GDP's scattered K-hop accesses (paper §3.3 cache-locality argument).
+  PlanFixture f;
+  f.opts.cache_bytes_per_device = 256 << 10;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  std::int64_t snp_cpu = 0, gdp_cpu = 0;
+  for (std::int32_t d = 0; d < 4; ++d) {
+    snp_cpu += dry.per_strategy[static_cast<std::size_t>(Strategy::kSNP)]
+                   .load[static_cast<std::size_t>(d)]
+                   .CpuBytes();
+    gdp_cpu += dry.per_strategy[static_cast<std::size_t>(Strategy::kGDP)]
+                   .load[static_cast<std::size_t>(d)]
+                   .CpuBytes();
+  }
+  EXPECT_LT(snp_cpu, gdp_cpu);
+}
+
+TEST(DryRunTest, Layer0OutDimRules) {
+  ModelConfig m;
+  m.kind = ModelKind::kSage;
+  m.num_layers = 3;
+  m.hidden_dim = 32;
+  m.num_classes = 10;
+  EXPECT_EQ(Layer0OutDim(m), 32);
+  m.num_layers = 1;
+  EXPECT_EQ(Layer0OutDim(m), 10);
+  m.kind = ModelKind::kGat;
+  m.num_layers = 3;
+  m.gat_heads = 4;
+  m.hidden_dim = 8;
+  EXPECT_EQ(Layer0OutDim(m), 32);
+}
+
+TEST(CostModelTest, EstimatesComposeLinearly) {
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  const auto all = EstimateAll(dry);
+  for (Strategy s : kAllStrategies) {
+    const CostEstimate& e = all[static_cast<std::size_t>(s)];
+    EXPECT_EQ(e.strategy, s);
+    EXPECT_NEAR(e.Comparable(), e.t_build + e.t_load + e.t_shuffle, 1e-12);
+    EXPECT_FALSE(FormatEstimate(e).empty());
+  }
+}
+
+TEST(PlannerTest, SelectsMinimumComparableCost) {
+  PlanFixture f;
+  const PlanReport report = MakePlan(f.ds, f.cluster, f.partition, f.opts, f.model);
+  double best = 1e100;
+  Strategy best_s = Strategy::kGDP;
+  for (const CostEstimate& e : report.estimates) {
+    if (e.feasible && e.Comparable() < best) {
+      best = e.Comparable();
+      best_s = e.strategy;
+    }
+  }
+  EXPECT_EQ(report.selected, best_s);
+}
+
+TEST(PlannerTest, LargeHiddenDimFavorsGdp) {
+  // Fig 8a: with a very large hidden dimension, shuffling hidden embeddings
+  // dominates and GDP (which shuffles none) wins.
+  PlanFixture f;
+  f.model.hidden_dim = 512;
+  f.opts.cache_bytes_per_device = 0;
+  const PlanReport report = MakePlan(f.ds, f.cluster, f.partition, f.opts, f.model);
+  EXPECT_EQ(report.selected, Strategy::kGDP);
+}
+
+TEST(PlannerTest, NoCacheFavorsGdp) {
+  // Fig 8c: with caches disabled, every strategy pays the same CPU loads but
+  // only GDP avoids the shuffle overheads.
+  PlanFixture f;
+  f.opts.cache_bytes_per_device = 0;
+  const PlanReport report = MakePlan(f.ds, f.cluster, f.partition, f.opts, f.model);
+  EXPECT_EQ(report.selected, Strategy::kGDP);
+}
+
+TEST(AdapterTest, BuildsConsistentSetup) {
+  PlanFixture f;
+  const DryRunResult dry = DryRun(f.ds, f.cluster, f.partition, f.opts, f.model);
+  const TrainerSetup setup = BuildTrainerSetup(f.cluster, f.model, f.opts, f.partition,
+                                               dry, Strategy::kSNP);
+  EXPECT_EQ(setup.engine.strategy, Strategy::kSNP);
+  EXPECT_EQ(setup.engine.seed_assignment, SeedAssignment::kPartition);
+  EXPECT_EQ(setup.partition.size(), f.partition.size());
+  EXPECT_EQ(setup.cache.cache_nodes.size(), 4u);
+  EXPECT_EQ(setup.feature_placement.size(), f.partition.size());
+
+  const TrainerSetup gdp = BuildTrainerSetup(f.cluster, f.model, f.opts, f.partition,
+                                             dry, Strategy::kGDP);
+  EXPECT_EQ(gdp.engine.seed_assignment, SeedAssignment::kChunked);
+}
+
+TEST(AptSystemTest, EndToEndRunImprovesLoss) {
+  PlanFixture f;
+  AptSystem system(f.ds, f.cluster, f.model, f.opts);
+  const PlanReport& plan = system.Plan();
+  EXPECT_TRUE(system.planned());
+  (void)plan;
+  const auto stats = system.Run(3);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+  for (const EpochStats& s : stats) {
+    EXPECT_GT(s.sim_seconds, 0.0);
+    EXPECT_NEAR(s.sim_seconds,
+                s.sample_seconds + s.load_seconds + s.train_seconds, 1e-9);
+  }
+}
+
+TEST(AptSystemTest, FillsModelDimsFromDataset) {
+  PlanFixture f;
+  ModelConfig m = f.model;
+  m.input_dim = 0;
+  m.num_classes = 0;
+  AptSystem system(f.ds, f.cluster, m, f.opts);
+  auto trainer = system.MakeTrainer(Strategy::kGDP);
+  EXPECT_EQ(trainer->setup().model.input_dim, f.ds.feature_dim());
+  EXPECT_EQ(trainer->setup().model.num_classes, f.ds.num_classes);
+}
+
+TEST(AptSystemTest, CustomPartitionerIsUsed) {
+  PlanFixture f;
+  RandomPartitioner rnd(123);
+  AptSystem system(f.ds, f.cluster, f.model, f.opts, &rnd);
+  EXPECT_EQ(system.partition(), rnd.Partition(f.ds.graph, 4));
+}
+
+TEST(AptSystemTest, PlanIsCached) {
+  PlanFixture f;
+  AptSystem system(f.ds, f.cluster, f.model, f.opts);
+  const PlanReport& a = system.Plan();
+  const PlanReport& b = system.Plan();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,186 @@
+// Collective-communication tests: exact data movement, clock semantics,
+// and cost-model sanity (inter-machine slower than intra-machine).
+#include <gtest/gtest.h>
+
+#include "comm/collectives.h"
+#include "comm/profiler.h"
+#include "tensor/ops.h"
+
+namespace apt {
+namespace {
+
+Tensor Filled(std::int64_t r, std::int64_t c, float v) {
+  Tensor t(r, c);
+  t.Fill(v);
+  return t;
+}
+
+TEST(AllToAllTest, RoutesTensorsExactly) {
+  SimContext sim(SingleMachineCluster(3));
+  Communicator comm(sim);
+  std::vector<std::vector<Tensor>> parts(3, std::vector<Tensor>(3));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      parts[i][j] = Filled(1, 2, static_cast<float>(10 * i + j));
+    }
+  }
+  const auto recv = comm.AllToAllTensors(parts, Phase::kTrain);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(recv[j][i](0, 0), static_cast<float>(10 * i + j));
+    }
+  }
+  EXPECT_GT(sim.MaxNow(), 0.0);
+}
+
+TEST(AllToAllTest, EmptyTensorsAreFree) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  std::vector<std::vector<Tensor>> parts(2, std::vector<Tensor>(2));
+  comm.AllToAllTensors(parts, Phase::kTrain);
+  // Only barrier synchronization, no transfer time.
+  EXPECT_DOUBLE_EQ(sim.MaxNow(), 0.0);
+}
+
+TEST(AllToAllTest, ClocksSynchronizedAfter) {
+  SimContext sim(SingleMachineCluster(4));
+  Communicator comm(sim);
+  sim.Advance(2, 1.0, Phase::kSample);  // straggler
+  std::vector<std::vector<Tensor>> parts(4, std::vector<Tensor>(4));
+  parts[0][1] = Filled(100, 10, 1.0f);
+  comm.AllToAllTensors(parts, Phase::kTrain);
+  const double t = sim.Now(0);
+  for (DeviceId d = 1; d < 4; ++d) EXPECT_DOUBLE_EQ(sim.Now(d), t);
+  EXPECT_GE(t, 1.0);
+}
+
+TEST(AllToAllVecTest, RoutesVectors) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  std::vector<std::vector<std::vector<int>>> sends(2,
+                                                   std::vector<std::vector<int>>(2));
+  sends[0][1] = {1, 2, 3};
+  sends[1][0] = {7};
+  const auto recv = comm.AllToAllVec(sends, Phase::kSample);
+  EXPECT_EQ(recv[1][0], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(recv[0][1], (std::vector<int>{7}));
+  EXPECT_TRUE(recv[0][0].empty());
+}
+
+TEST(AllReduceTest, SumsAcrossDevices) {
+  SimContext sim(SingleMachineCluster(3));
+  Communicator comm(sim);
+  std::vector<Tensor> bufs;
+  for (int i = 0; i < 3; ++i) bufs.push_back(Filled(2, 2, static_cast<float>(i + 1)));
+  std::vector<Tensor*> ptrs{&bufs[0], &bufs[1], &bufs[2]};
+  comm.AllReduceSum(ptrs, Phase::kTrain);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(bufs[static_cast<std::size_t>(i)](0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(bufs[static_cast<std::size_t>(i)](1, 1), 6.0f);
+  }
+}
+
+TEST(AllReduceTest, ShapeMismatchThrows) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  Tensor a(2, 2), b(3, 2);
+  std::vector<Tensor*> ptrs{&a, &b};
+  EXPECT_THROW(comm.AllReduceSum(ptrs, Phase::kTrain), Error);
+}
+
+TEST(AllBroadcastTest, EveryoneSeesEverything) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  std::vector<Tensor> inputs{Filled(1, 1, 3.0f), Filled(1, 1, 4.0f)};
+  const auto out = comm.AllBroadcastTensors(inputs, Phase::kSample);
+  EXPECT_FLOAT_EQ(out[0](0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out[1](0, 0), 4.0f);
+}
+
+TEST(AllBroadcastObjectsTest, ChargesBytesFn) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  std::vector<std::string> inputs{"hello", "world!"};
+  const auto out = comm.AllBroadcastObjects(
+      std::move(inputs), [](const std::string& s) { return s.size(); }, Phase::kSample);
+  EXPECT_EQ(out[1], "world!");
+  EXPECT_GT(sim.MaxNow(), 0.0);
+}
+
+TEST(GroupReduceTest, AccumulatesPartialsAtDestination) {
+  SimContext sim(SingleMachineCluster(2));
+  Communicator comm(sim);
+  // Device 0 and device 1 both contribute partial rows for device 0's
+  // output rows {0, 1}.
+  std::vector<std::vector<Tensor>> parts(2, std::vector<Tensor>(2));
+  std::vector<std::vector<std::vector<std::int64_t>>> index(
+      2, std::vector<std::vector<std::int64_t>>(2));
+  parts[0][0] = Filled(2, 1, 1.0f);
+  index[0][0] = {0, 1};
+  parts[1][0] = Filled(1, 1, 5.0f);
+  index[1][0] = {1};
+  Tensor out0(2, 1);
+  std::vector<Tensor*> outs{&out0, nullptr};
+  comm.GroupReduce(parts, index, outs, Phase::kTrain);
+  EXPECT_FLOAT_EQ(out0(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out0(1, 0), 6.0f);
+}
+
+TEST(RingBottleneckTest, CrossMachineDominates) {
+  SimContext single(SingleMachineCluster(4));
+  SimContext multi(MultiMachineCluster(2, 2));
+  Communicator cs(single), cm(multi);
+  EXPECT_GT(cs.RingBottleneck().bandwidth_bytes_per_s, 0.0);
+  EXPECT_EQ(cm.RingBottleneck().bandwidth_bytes_per_s,
+            multi.cluster().network.bandwidth_bytes_per_s);
+}
+
+TEST(CollectiveCostTest, CrossMachineAllReduceSlower) {
+  const std::int64_t rows = 4096;
+  SimContext s1(SingleMachineCluster(4));
+  {
+    Communicator comm(s1);
+    std::vector<Tensor> bufs(4, Tensor(rows, 16));
+    std::vector<Tensor*> ptrs;
+    for (auto& b : bufs) ptrs.push_back(&b);
+    comm.AllReduceSum(ptrs, Phase::kTrain);
+  }
+  SimContext s2(MultiMachineCluster(2, 2));
+  {
+    Communicator comm(s2);
+    std::vector<Tensor> bufs(4, Tensor(rows, 16));
+    std::vector<Tensor*> ptrs;
+    for (auto& b : bufs) ptrs.push_back(&b);
+    comm.AllReduceSum(ptrs, Phase::kTrain);
+  }
+  EXPECT_GT(s2.MaxNow(), s1.MaxNow());
+}
+
+TEST(ProfilerTest, ProfilesAreOrderedSensibly) {
+  const CommProfile p = ProfileCommunication(SingleMachineCluster(8));
+  EXPECT_GT(p.alltoall_bytes_per_s, 0.0);
+  EXPECT_GT(p.allreduce_bytes_per_s, 0.0);
+  EXPECT_GT(p.broadcast_bytes_per_s, 0.0);
+  // GPU cache reads are far faster than CPU reads over PCIe.
+  EXPECT_GT(p.gpu_cache_bytes_per_s, 10 * p.local_cpu_bytes_per_s);
+  // Single machine has no remote-CPU channel.
+  EXPECT_EQ(p.remote_cpu_bytes_per_s, 0.0);
+}
+
+TEST(ProfilerTest, MultiMachineRemoteChannelSlower) {
+  const CommProfile p = ProfileCommunication(MultiMachineCluster(2, 4));
+  EXPECT_GT(p.remote_cpu_bytes_per_s, 0.0);
+  EXPECT_LT(p.remote_cpu_bytes_per_s, p.local_cpu_bytes_per_s * 1.01);
+  // Collectives spanning machines are slower than single-machine ones.
+  const CommProfile ps = ProfileCommunication(SingleMachineCluster(8));
+  EXPECT_LT(p.allreduce_bytes_per_s, ps.allreduce_bytes_per_s * 1.01);
+}
+
+TEST(ProfilerTest, NvlinkSpeedsUpPeerReads) {
+  const CommProfile with = ProfileCommunication(SingleMachineCluster(4, true));
+  const CommProfile without = ProfileCommunication(SingleMachineCluster(4, false));
+  EXPECT_GT(with.peer_gpu_bytes_per_s, without.peer_gpu_bytes_per_s);
+}
+
+}  // namespace
+}  // namespace apt

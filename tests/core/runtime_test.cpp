@@ -1,0 +1,73 @@
+// Tests for the thread pool and ParallelFor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/error.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace apt {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::latch done(10);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+  EXPECT_GE(ThreadPool::Global().NumThreads(), 1u);
+}
+
+TEST(ParallelForTest, CoversWholeRange) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, 1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+              /*grain=*/16);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingleRanges) {
+  int count = 0;
+  ParallelFor(5, 5, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  ParallelFor(7, 8, [&](std::int64_t i) { EXPECT_EQ(i, 7); ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  ParallelFor(100, 200, [&](std::int64_t i) { sum.fetch_add(i); }, 8);
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 10000,
+                  [&](std::int64_t i) {
+                    if (i == 4321) throw Error("boom");
+                  },
+                  /*grain=*/8),
+      Error);
+}
+
+TEST(ParallelForTest, LargeGrainRunsSerial) {
+  // grain larger than range => runs on the calling thread; still correct.
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 64, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+              1 << 20);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+}  // namespace
+}  // namespace apt

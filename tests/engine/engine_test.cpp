@@ -1,0 +1,244 @@
+// Engine behaviour tests beyond equivalence: traffic patterns, phase
+// accounting, OOM detection, seed assignment, and DDP invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "engine/exec_common.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::MakeTrainer;
+using ::apt::testing::SmallDataset;
+
+TEST(EngineTrafficTest, GdpMovesNoPeerTraffic) {
+  // GDP's only inter-device communication is the DDP gradient allreduce.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto trainer = MakeTrainer(ds, cluster, Strategy::kGDP);
+  trainer->sim().ResetTraffic();
+  trainer->TrainEpoch(0);
+  const std::int64_t peer = trainer->sim().TrafficBytes(TrafficClass::kPeerGpu);
+  // Exactly the packed-gradient ring volume per step (2(C-1)/C * bytes).
+  const std::int64_t param_bytes = trainer->model0().ParamBytes();
+  const std::int64_t steps = trainer->StepsPerEpoch();
+  EXPECT_LE(peer, steps * 2 * param_bytes);
+  EXPECT_GT(peer, 0);
+}
+
+TEST(EngineTrafficTest, PartitionedStrategiesMovePeerTraffic) {
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto gdp = MakeTrainer(ds, cluster, Strategy::kGDP);
+  gdp->sim().ResetTraffic();
+  gdp->TrainEpoch(0);
+  const std::int64_t gdp_peer = gdp->sim().TrafficBytes(TrafficClass::kPeerGpu);
+  for (Strategy s : {Strategy::kNFP, Strategy::kSNP, Strategy::kDNP}) {
+    auto t = MakeTrainer(ds, cluster, s);
+    t->sim().ResetTraffic();
+    t->TrainEpoch(0);
+    EXPECT_GT(t->sim().TrafficBytes(TrafficClass::kPeerGpu), gdp_peer) << ToString(s);
+  }
+}
+
+TEST(EngineTrafficTest, MultiMachineCrossTrafficOnlyWhenDistributed) {
+  const Dataset ds = SmallDataset();
+  auto single = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kDNP);
+  single->sim().ResetTraffic();
+  single->TrainEpoch(0);
+  EXPECT_EQ(single->sim().TrafficBytes(TrafficClass::kCrossMachine), 0);
+
+  auto multi = MakeTrainer(ds, MultiMachineCluster(2, 2), Strategy::kDNP);
+  multi->sim().ResetTraffic();
+  multi->TrainEpoch(0);
+  EXPECT_GT(multi->sim().TrafficBytes(TrafficClass::kCrossMachine), 0);
+}
+
+TEST(EnginePhaseTest, BreakdownIsConsistent) {
+  const Dataset ds = SmallDataset();
+  for (Strategy s : kAllStrategies) {
+    auto t = MakeTrainer(ds, SingleMachineCluster(4), s);
+    const EpochStats e = t->TrainEpoch(0);
+    EXPECT_GT(e.sample_seconds, 0.0) << ToString(s);
+    EXPECT_GT(e.load_seconds, 0.0) << ToString(s);
+    EXPECT_GT(e.train_seconds, 0.0) << ToString(s);
+    EXPECT_NEAR(e.sim_seconds, e.sample_seconds + e.load_seconds + e.train_seconds,
+                1e-12);
+  }
+}
+
+TEST(EnginePhaseTest, EpochTimeIsReproducible) {
+  // Simulated time is a pure function of the configuration.
+  const Dataset ds = SmallDataset();
+  auto a = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kSNP);
+  auto b = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kSNP);
+  const EpochStats ea = a->TrainEpoch(0);
+  const EpochStats eb = b->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(ea.sim_seconds, eb.sim_seconds);
+  EXPECT_DOUBLE_EQ(ea.loss, eb.loss);
+}
+
+TEST(EngineMemoryTest, NfpGatPeaksAboveGdpGat) {
+  // The paper's Fig 10 OOM observation: NFP+attention materializes a
+  // projection row for every layer-1 source of EVERY device's graph.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  // A large hidden dim makes the per-source projection rows dominate.
+  auto gdp = MakeTrainer(ds, cluster, Strategy::kGDP, ModelKind::kGat,
+                         /*force_chunked=*/true, 1 << 20, {5, 5}, 128,
+                         /*hidden=*/32);
+  auto nfp = MakeTrainer(ds, cluster, Strategy::kNFP, ModelKind::kGat,
+                         /*force_chunked=*/true, 1 << 20, {5, 5}, 128,
+                         /*hidden=*/32);
+  gdp->TrainEpoch(0);
+  nfp->TrainEpoch(0);
+  std::int64_t gdp_peak = 0, nfp_peak = 0;
+  for (DeviceId d = 0; d < 4; ++d) {
+    gdp_peak = std::max(gdp_peak, gdp->sim().PeakMemory(d));
+    nfp_peak = std::max(nfp_peak, nfp->sim().PeakMemory(d));
+  }
+  EXPECT_GT(nfp_peak, gdp_peak);
+}
+
+TEST(EngineMemoryTest, TinyDeviceMemoryTriggersOom) {
+  const Dataset ds = SmallDataset();
+  ClusterSpec cluster = SingleMachineCluster(4);
+  cluster.machines[0].gpu.memory_bytes = 1 << 10;  // 1 KB GPU
+  auto t = MakeTrainer(ds, cluster, Strategy::kGDP);
+  t->TrainEpoch(0);
+  EXPECT_TRUE(t->sim().AnyOom());
+}
+
+TEST(EngineAccuracyTest, EvaluationImprovesWithTraining) {
+  const Dataset ds = SmallDataset();
+  auto t = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kDNP,
+                       ModelKind::kSage, /*force_chunked=*/false);
+  const double before = t->EvaluateAccuracy(ds.val_nodes);
+  for (int e = 0; e < 5; ++e) t->TrainEpoch(e);
+  const double after = t->EvaluateAccuracy(ds.val_nodes);
+  EXPECT_GT(after, before + 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// exec_common helpers.
+// ---------------------------------------------------------------------------
+
+struct CommonFixture {
+  Dataset ds = SmallDataset();
+  SimContext sim{SingleMachineCluster(4)};
+  Communicator comm{sim};
+  std::vector<PartId> partition;
+  std::vector<std::unique_ptr<GnnModel>> models;
+  EngineCtx ctx;
+
+  CommonFixture() {
+    MultilevelPartitioner ml;
+    partition = ml.Partition(ds.graph, 4);
+    ModelConfig cfg;
+    cfg.kind = ModelKind::kSage;
+    cfg.num_layers = 2;
+    cfg.input_dim = ds.feature_dim();
+    cfg.hidden_dim = 8;
+    cfg.num_classes = ds.num_classes;
+    for (int i = 0; i < 4; ++i) models.push_back(std::make_unique<GnnModel>(cfg));
+    ctx.sim = &sim;
+    ctx.comm = &comm;
+    ctx.dataset = &ds;
+    ctx.partition = &partition;
+    ctx.models = &models;
+    ctx.opts.fanouts = {3, 3};
+  }
+};
+
+TEST(ExecCommonTest, ChunkedAssignmentBalanced) {
+  CommonFixture f;
+  f.ctx.opts.seed_assignment = SeedAssignment::kChunked;
+  std::vector<NodeId> seeds(103);
+  std::iota(seeds.begin(), seeds.end(), NodeId{0});
+  const auto per_dev = AssignSeeds(f.ctx, seeds);
+  ASSERT_EQ(per_dev.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& v : per_dev) {
+    EXPECT_LE(v.size(), 26u);
+    total += v.size();
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(ExecCommonTest, PartitionAssignmentFollowsOwnership) {
+  CommonFixture f;
+  f.ctx.opts.seed_assignment = SeedAssignment::kPartition;
+  std::vector<NodeId> seeds{0, 1, 2, 500, 1000, 1500, 1999};
+  const auto per_dev = AssignSeeds(f.ctx, seeds);
+  for (std::size_t d = 0; d < per_dev.size(); ++d) {
+    for (NodeId s : per_dev[d]) {
+      EXPECT_EQ(f.partition[static_cast<std::size_t>(s)], static_cast<PartId>(d));
+    }
+  }
+}
+
+TEST(ExecCommonTest, GradientAllReduceEqualizesReplicas) {
+  CommonFixture f;
+  // Perturb each replica's gradients differently.
+  for (std::size_t d = 0; d < f.models.size(); ++d) {
+    for (Param* p : f.models[d]->Params()) {
+      p->grad.Fill(static_cast<float>(d + 1));
+    }
+  }
+  AllReduceGradients(f.ctx);
+  // Sum over devices = 1 + 2 + 3 + 4 = 10 for every element, on every device.
+  for (auto& m : f.models) {
+    for (Param* p : m->Params()) {
+      EXPECT_FLOAT_EQ(p->grad.data()[0], 10.0f);
+      EXPECT_FLOAT_EQ(p->grad.data()[p->grad.numel() - 1], 10.0f);
+    }
+  }
+}
+
+TEST(ExecCommonTest, SeedLossGradScalesByDeviceShare) {
+  CommonFixture f;
+  DeviceBatch batch;
+  batch.labels = {1, 2};
+  Tensor logits(2, static_cast<std::int64_t>(f.ds.num_classes));
+  logits.Fill(0.1f);
+  Tensor grad;
+  const StepStats s = SeedLossAndGrad(f.ctx, 0, batch, logits, /*total_seeds=*/8, grad);
+  EXPECT_EQ(s.num_seeds, 2);
+  // Loss is weighted by 2/8 of the device-mean loss.
+  EXPECT_NEAR(s.loss, std::log(static_cast<double>(f.ds.num_classes)) * 0.25, 1e-5);
+  // Gradient rows sum to ~0 per row (softmax property) and are scaled.
+  double row_sum = 0.0;
+  for (std::int64_t j = 0; j < grad.cols(); ++j) row_sum += grad(0, j);
+  EXPECT_NEAR(row_sum, 0.0, 1e-6);
+}
+
+TEST(ExecCommonTest, EmptyBatchYieldsZeroStats) {
+  CommonFixture f;
+  DeviceBatch batch;
+  Tensor logits(0, 4);
+  Tensor grad;
+  const StepStats s = SeedLossAndGrad(f.ctx, 0, batch, logits, 8, grad);
+  EXPECT_EQ(s.num_seeds, 0);
+  EXPECT_EQ(s.loss, 0.0);
+  EXPECT_EQ(grad.rows(), 0);
+}
+
+TEST(ExecCommonTest, SampleSecondsGrowWithFanout) {
+  CommonFixture f;
+  NeighborSampler light(f.ds.graph, {2, 2});
+  NeighborSampler heavy(f.ds.graph, {8, 8});
+  Rng rng(3);
+  std::vector<NodeId> seeds(64);
+  std::iota(seeds.begin(), seeds.end(), NodeId{100});
+  const SampledBatch lb = light.Sample(seeds, rng);
+  const SampledBatch hb = heavy.Sample(seeds, rng);
+  EXPECT_GT(SampleSeconds(f.ctx, 0, hb), 2 * SampleSeconds(f.ctx, 0, lb));
+}
+
+}  // namespace
+}  // namespace apt

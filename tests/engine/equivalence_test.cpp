@@ -1,0 +1,94 @@
+// The engine's core claim (paper Fig 6): GDP, NFP, SNP, and DNP are
+// semantically equivalent — given identical mini-batches they produce the
+// same trained model up to floating-point reassociation.
+#include <gtest/gtest.h>
+
+#include "model/param.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::MakeTrainer;
+using ::apt::testing::SmallDataset;
+
+/// Max relative parameter difference between two trained replicas.
+double MaxParamDiff(GnnModel& a, GnnModel& b) {
+  const auto pa = a.Params();
+  const auto pb = b.Params();
+  EXPECT_EQ(pa.size(), pb.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst,
+                     static_cast<double>(MaxAbsDiff(pa[i]->value, pb[i]->value)));
+  }
+  return worst;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(EquivalenceTest, SageMatchesGdpAfterTraining) {
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto ref = MakeTrainer(ds, cluster, Strategy::kGDP);
+  auto alt = MakeTrainer(ds, cluster, GetParam());
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const EpochStats a = ref->TrainEpoch(epoch);
+    const EpochStats b = alt->TrainEpoch(epoch);
+    EXPECT_NEAR(a.loss, b.loss, 1e-3) << "epoch " << epoch;
+  }
+  EXPECT_LT(MaxParamDiff(ref->model0(), alt->model0()), 2e-3);
+}
+
+TEST_P(EquivalenceTest, GatMatchesGdpAfterTraining) {
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto ref = MakeTrainer(ds, cluster, Strategy::kGDP, ModelKind::kGat);
+  auto alt = MakeTrainer(ds, cluster, GetParam(), ModelKind::kGat);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const EpochStats a = ref->TrainEpoch(epoch);
+    const EpochStats b = alt->TrainEpoch(epoch);
+    EXPECT_NEAR(a.loss, b.loss, 1e-3) << "epoch " << epoch;
+  }
+  EXPECT_LT(MaxParamDiff(ref->model0(), alt->model0()), 2e-3);
+}
+
+TEST_P(EquivalenceTest, ReplicasStayIdenticalAcrossDevices) {
+  // DDP invariant: after any number of steps, every device's replica is
+  // bitwise identical (they apply identical updates to identical inits).
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto trainer = MakeTrainer(ds, cluster, GetParam());
+  trainer->TrainEpoch(0);
+  GnnModel probe(trainer->setup().model);  // fresh replica for API access only
+  (void)probe;
+  // Compare replica 0 against a re-run with the same config: determinism.
+  auto trainer2 = MakeTrainer(ds, cluster, GetParam());
+  trainer2->TrainEpoch(0);
+  EXPECT_EQ(MaxParamDiff(trainer->model0(), trainer2->model0()), 0.0);
+}
+
+TEST_P(EquivalenceTest, PartitionAssignmentAlsoConverges) {
+  // With the strategy's native seed assignment (partition-based for
+  // SNP/DNP), training still reduces the loss — the paper's accuracy-curve
+  // sanity check, not an exactness check.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  auto trainer = MakeTrainer(ds, cluster, GetParam(), ModelKind::kSage,
+                             /*force_chunked=*/false);
+  const EpochStats first = trainer->TrainEpoch(0);
+  EpochStats last{};
+  for (int epoch = 1; epoch < 4; ++epoch) last = trainer->TrainEpoch(epoch);
+  EXPECT_LT(last.loss, first.loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, EquivalenceTest,
+                         ::testing::Values(Strategy::kNFP, Strategy::kSNP,
+                                           Strategy::kDNP),
+                         [](const ::testing::TestParamInfo<Strategy>& info) {
+                           return ToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,79 @@
+// Dataset serialization round-trip and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/io.h"
+#include "tensor/ops.h"
+
+namespace apt {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+Dataset SampleDs() {
+  DatasetParams p;
+  p.name = "roundtrip";
+  p.num_nodes = 500;
+  p.num_edges = 2500;
+  p.feature_dim = 12;
+  p.num_classes = 4;
+  p.num_communities = 4;
+  return MakeDataset(p);
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  const Dataset ds = SampleDs();
+  TempFile f("ds_roundtrip.bin");
+  SaveDataset(ds, f.path);
+  const Dataset loaded = LoadDataset(f.path);
+  EXPECT_EQ(loaded.name, ds.name);
+  EXPECT_EQ(loaded.graph.num_nodes(), ds.graph.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), ds.graph.num_edges());
+  EXPECT_TRUE(std::equal(ds.graph.indices().begin(), ds.graph.indices().end(),
+                         loaded.graph.indices().begin()));
+  EXPECT_EQ(MaxAbsDiff(loaded.features, ds.features), 0.0f);
+  EXPECT_EQ(loaded.labels, ds.labels);
+  EXPECT_EQ(loaded.num_classes, ds.num_classes);
+  EXPECT_EQ(loaded.num_communities, ds.num_communities);
+  EXPECT_EQ(loaded.train_nodes, ds.train_nodes);
+  EXPECT_EQ(loaded.val_nodes, ds.val_nodes);
+  EXPECT_EQ(loaded.test_nodes, ds.test_nodes);
+}
+
+TEST(DatasetIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadDataset("/nonexistent/path/x.bin"), Error);
+}
+
+TEST(DatasetIoTest, BadMagicThrows) {
+  TempFile f("ds_bad_magic.bin");
+  std::ofstream out(f.path, std::ios::binary);
+  const char junk[64] = "this is not an APT dataset file";
+  out.write(junk, sizeof(junk));
+  out.close();
+  EXPECT_THROW(LoadDataset(f.path), Error);
+}
+
+TEST(DatasetIoTest, TruncatedFileThrows) {
+  const Dataset ds = SampleDs();
+  TempFile full("ds_full.bin");
+  SaveDataset(ds, full.path);
+  // Copy the first half of the bytes.
+  std::ifstream in(full.path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  TempFile cut("ds_cut.bin");
+  std::ofstream out(cut.path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(LoadDataset(cut.path), Error);
+}
+
+}  // namespace
+}  // namespace apt

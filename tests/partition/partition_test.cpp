@@ -1,0 +1,115 @@
+// Partitioner tests: correctness, balance, and the quality gap between the
+// multilevel partitioner and random assignment (the premise of Fig 11).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace apt {
+namespace {
+
+CsrGraph CommunityGraph(std::uint64_t seed = 21) {
+  ZipfCommunityParams p;
+  p.num_nodes = 4000;
+  p.num_edges = 30000;
+  p.num_communities = 8;
+  p.zipf_exponent = 0.4;
+  p.intra_prob = 0.92;
+  p.seed = seed;
+  return ZipfCommunityGraph(p);
+}
+
+class PartitionerTest : public ::testing::TestWithParam<PartId> {};
+
+TEST_P(PartitionerTest, AssignsEveryNodeInRange) {
+  const CsrGraph g = CommunityGraph();
+  MultilevelPartitioner ml;
+  const PartitionAssignment part = ml.Partition(g, GetParam());
+  ASSERT_EQ(static_cast<NodeId>(part.size()), g.num_nodes());
+  for (PartId p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, GetParam());
+  }
+}
+
+TEST_P(PartitionerTest, BalanceWithinTolerance) {
+  const CsrGraph g = CommunityGraph();
+  MultilevelPartitioner ml;
+  const PartitionAssignment part = ml.Partition(g, GetParam());
+  EXPECT_LT(PartitionBalance(part, GetParam()), 1.35);
+}
+
+TEST_P(PartitionerTest, BeatsRandomOnEdgeCut) {
+  const CsrGraph g = CommunityGraph();
+  MultilevelPartitioner ml;
+  RandomPartitioner rnd;
+  const EdgeId ml_cut = EdgeCut(g, ml.Partition(g, GetParam()));
+  const EdgeId rnd_cut = EdgeCut(g, rnd.Partition(g, GetParam()));
+  // On planted-community graphs the multilevel cut should be dramatically
+  // smaller than random (random cuts ~ (k-1)/k of all edges).
+  EXPECT_LT(ml_cut * 2, rnd_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionerTest, ::testing::Values(2, 4, 8),
+                         [](const ::testing::TestParamInfo<PartId>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(PartitionerTest, SinglePartTrivial) {
+  const CsrGraph g = ErdosRenyi(100, 300, Rng(4));
+  MultilevelPartitioner ml;
+  const PartitionAssignment part = ml.Partition(g, 1);
+  for (PartId p : part) EXPECT_EQ(p, 0);
+  EXPECT_EQ(EdgeCut(g, part), 0);
+}
+
+TEST(PartitionerTest, RandomIsDeterministicPerSeed) {
+  const CsrGraph g = ErdosRenyi(200, 600, Rng(6));
+  RandomPartitioner a(5), b(5), c(6);
+  EXPECT_EQ(a.Partition(g, 4), b.Partition(g, 4));
+  EXPECT_NE(a.Partition(g, 4), c.Partition(g, 4));
+}
+
+TEST(PartitionerTest, EdgeCutCountsCrossEdgesOnce) {
+  // Path 0-1-2 with partition {0}, {1, 2}: exactly one cut edge.
+  const std::vector<NodeId> src{0, 1};
+  const std::vector<NodeId> dst{1, 2};
+  const CsrGraph g = BuildCsr(3, src, dst, /*symmetrize=*/true);
+  const PartitionAssignment part{0, 1, 1};
+  EXPECT_EQ(EdgeCut(g, part), 1);
+}
+
+TEST(PartitionerTest, PartitionMembersRoundTrip) {
+  const PartitionAssignment part{1, 0, 1, 0, 2};
+  const auto members = PartitionMembers(part, 3);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(members[1], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(members[2], (std::vector<NodeId>{4}));
+}
+
+TEST(PartitionerTest, RecoversPlantedCommunitiesApproximately) {
+  // With k == number of planted communities and strong intra-probability,
+  // the cut should be close to the number of inter-community edges.
+  const CsrGraph g = CommunityGraph(33);
+  MultilevelPartitioner ml;
+  const PartitionAssignment part = ml.Partition(g, 8);
+  EdgeId inter = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.Neighbors(v)) {
+      inter += CommunityOf(u, 4000, 8) != CommunityOf(v, 4000, 8);
+    }
+  }
+  inter /= 2;
+  EXPECT_LT(EdgeCut(g, part), inter * 3);
+}
+
+TEST(PartitionerTest, BalanceMetricExactValues) {
+  const PartitionAssignment perfect{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(PartitionBalance(perfect, 2), 1.0);
+  const PartitionAssignment skewed{0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(PartitionBalance(skewed, 2), 1.5);
+}
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,227 @@
+// Tests for blocks, the neighbor sampler, mini-batch planning, and
+// access-frequency collection.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "sampling/frequency.h"
+#include "sampling/minibatch.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace apt {
+namespace {
+
+CsrGraph TestGraph() { return ErdosRenyi(500, 5000, Rng(17)); }
+
+TEST(BlockTest, ValidateAcceptsWellFormed) {
+  Block b;
+  b.src_nodes = {10, 20, 30};
+  b.num_dst = 2;
+  b.indptr = {0, 1, 3};
+  b.col = {2, 0, 1};
+  b.Validate();
+  EXPECT_EQ(b.num_src(), 3);
+  EXPECT_EQ(b.num_edges(), 3);
+  EXPECT_EQ(b.dst_nodes().size(), 2u);
+  EXPECT_GT(b.bytes(), 0);
+}
+
+TEST(BlockTest, ValidateRejectsBadCol) {
+  Block b;
+  b.src_nodes = {1, 2};
+  b.num_dst = 1;
+  b.indptr = {0, 1};
+  b.col = {5};
+  EXPECT_THROW(b.Validate(), Error);
+}
+
+TEST(BlockTest, ValidateRejectsBadIndptr) {
+  Block b;
+  b.src_nodes = {1};
+  b.num_dst = 1;
+  b.indptr = {0, 2};
+  b.col = {0};
+  EXPECT_THROW(b.Validate(), Error);
+}
+
+class SamplerTest : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(SamplerTest, StructureInvariantsHold) {
+  const CsrGraph g = TestGraph();
+  NeighborSampler sampler(g, GetParam());
+  Rng rng(1);
+  const std::vector<NodeId> seeds{1, 5, 9, 13, 200};
+  const SampledBatch batch = sampler.Sample(seeds, rng);
+  ASSERT_EQ(batch.blocks.size(), GetParam().size());
+  for (const Block& b : batch.blocks) b.Validate();
+  // The last block's destinations are exactly the seeds.
+  const Block& last = batch.blocks.back();
+  ASSERT_EQ(last.num_dst, static_cast<std::int64_t>(seeds.size()));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(last.src_nodes[i], seeds[i]);
+  }
+  // Layer chaining: block k's source set equals block k+1's dst prefix.
+  for (std::size_t k = 0; k + 1 < batch.blocks.size(); ++k) {
+    const Block& outer = batch.blocks[k];
+    const Block& inner = batch.blocks[k + 1];
+    ASSERT_EQ(outer.num_dst, inner.num_src());
+    for (std::int64_t i = 0; i < outer.num_dst; ++i) {
+      EXPECT_EQ(outer.src_nodes[static_cast<std::size_t>(i)],
+                inner.src_nodes[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(SamplerTest, FanoutBoundsRespected) {
+  const CsrGraph g = TestGraph();
+  NeighborSampler sampler(g, GetParam());
+  Rng rng(2);
+  const std::vector<NodeId> seeds{3, 7, 11};
+  const SampledBatch batch = sampler.Sample(seeds, rng);
+  // Fanouts apply seed-outward; blocks are stored innermost-first.
+  for (std::size_t k = 0; k < batch.blocks.size(); ++k) {
+    const int fanout = GetParam()[batch.blocks.size() - 1 - k];
+    const Block& b = batch.blocks[k];
+    for (std::int64_t i = 0; i < b.num_dst; ++i) {
+      const std::int64_t deg = b.indptr[static_cast<std::size_t>(i) + 1] -
+                               b.indptr[static_cast<std::size_t>(i)];
+      EXPECT_LE(deg, fanout);
+      const NodeId v = b.src_nodes[static_cast<std::size_t>(i)];
+      EXPECT_LE(deg, g.Degree(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SamplerTest,
+                         ::testing::Values(std::vector<int>{3},
+                                           std::vector<int>{4, 2},
+                                           std::vector<int>{10, 5},
+                                           std::vector<int>{5, 4, 3}),
+                         [](const auto& info) {
+                           std::string n = "f";
+                           for (int f : info.param) n += "_" + std::to_string(f);
+                           return n;
+                         });
+
+TEST(SamplerTest, SampledNeighborsAreRealAndDistinct) {
+  const CsrGraph g = TestGraph();
+  NeighborSampler sampler(g, {5});
+  Rng rng(3);
+  const std::vector<NodeId> seeds{42};
+  const SampledBatch batch = sampler.Sample(seeds, rng);
+  const Block& b = batch.blocks[0];
+  std::set<NodeId> seen;
+  const auto nbrs = g.Neighbors(42);
+  const std::unordered_set<NodeId> nbr_set(nbrs.begin(), nbrs.end());
+  for (std::int64_t e = b.indptr[0]; e < b.indptr[1]; ++e) {
+    const NodeId u = b.src_nodes[static_cast<std::size_t>(b.col[static_cast<std::size_t>(e)])];
+    EXPECT_TRUE(nbr_set.count(u)) << "sampled non-neighbor " << u;
+    EXPECT_TRUE(seen.insert(u).second) << "duplicate neighbor " << u;
+  }
+}
+
+TEST(SamplerTest, SmallDegreeTakesAllNeighbors) {
+  // Star: node 0 has exactly 2 in-neighbors; fanout 10 must take both.
+  const std::vector<NodeId> src{1, 2};
+  const std::vector<NodeId> dst{0, 0};
+  const CsrGraph g = BuildCsr(3, src, dst, false);
+  NeighborSampler sampler(g, {10});
+  Rng rng(4);
+  const std::vector<NodeId> seeds{0};
+  const SampledBatch batch = sampler.Sample(seeds, rng);
+  EXPECT_EQ(batch.blocks[0].num_edges(), 2);
+}
+
+TEST(SamplerTest, DeterministicGivenRng) {
+  const CsrGraph g = TestGraph();
+  NeighborSampler sampler(g, {4, 3});
+  Rng r1(9), r2(9);
+  const std::vector<NodeId> seeds{5, 10, 15};
+  const SampledBatch a = sampler.Sample(seeds, r1);
+  const SampledBatch b = sampler.Sample(seeds, r2);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t k = 0; k < a.blocks.size(); ++k) {
+    EXPECT_EQ(a.blocks[k].src_nodes, b.blocks[k].src_nodes);
+    EXPECT_EQ(a.blocks[k].col, b.blocks[k].col);
+  }
+}
+
+TEST(SamplerTest, EmptySeedsYieldEmptyBlocks) {
+  const CsrGraph g = TestGraph();
+  NeighborSampler sampler(g, {3, 3});
+  Rng rng(5);
+  const SampledBatch batch = sampler.Sample({}, rng);
+  for (const Block& b : batch.blocks) {
+    EXPECT_EQ(b.num_dst, 0);
+    EXPECT_EQ(b.num_edges(), 0);
+  }
+}
+
+TEST(MinibatchTest, EpochShufflesAreEpochIndexed) {
+  std::vector<NodeId> seeds(100);
+  std::iota(seeds.begin(), seeds.end(), NodeId{0});
+  MinibatchPlan plan(seeds, 10, 2);
+  const auto e0 = plan.EpochSeeds(0);
+  const auto e0_again = plan.EpochSeeds(0);
+  const auto e1 = plan.EpochSeeds(1);
+  EXPECT_EQ(e0, e0_again);
+  EXPECT_NE(e0, e1);
+  // Both are permutations of the seed set.
+  std::set<NodeId> s0(e0.begin(), e0.end()), s1(e1.begin(), e1.end());
+  EXPECT_EQ(s0.size(), 100u);
+  EXPECT_EQ(s1.size(), 100u);
+}
+
+TEST(MinibatchTest, StepsCoverEverySeedOnce) {
+  std::vector<NodeId> seeds(103);
+  std::iota(seeds.begin(), seeds.end(), NodeId{0});
+  MinibatchPlan plan(seeds, 10, 2);  // 20 per global step -> 6 steps
+  EXPECT_EQ(plan.StepsPerEpoch(), 6);
+  const auto epoch = plan.EpochSeeds(3);
+  std::multiset<NodeId> seen;
+  for (std::int64_t s = 0; s < plan.StepsPerEpoch(); ++s) {
+    for (NodeId v : plan.StepSeeds(epoch, s)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 103u);
+  for (NodeId v : seeds) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(MinibatchTest, RejectsEmptyOrInvalid) {
+  EXPECT_THROW(MinibatchPlan({}, 10, 2), Error);
+  EXPECT_THROW(MinibatchPlan({1}, 0, 2), Error);
+  EXPECT_THROW(MinibatchPlan({1}, 4, 0), Error);
+}
+
+TEST(FrequencyTest, CountsInputNodes) {
+  FrequencyCollector freq(10);
+  SampledBatch batch;
+  Block b;
+  b.src_nodes = {1, 2, 3};
+  b.num_dst = 1;
+  b.indptr = {0, 2};
+  b.col = {1, 2};
+  batch.blocks.push_back(b);
+  freq.Record(batch);
+  freq.Record(batch);
+  EXPECT_EQ(freq.counts()[1], 2);
+  EXPECT_EQ(freq.counts()[0], 0);
+  EXPECT_EQ(freq.TotalAccesses(), 6);
+  freq.RecordNodes(std::vector<NodeId>{9, 9});
+  EXPECT_EQ(freq.counts()[9], 2);
+}
+
+TEST(FrequencyTest, HotnessOrderDescending) {
+  FrequencyCollector freq(4);
+  freq.RecordNodes(std::vector<NodeId>{2, 2, 2, 0, 0, 3});
+  const auto order = freq.NodesByHotness();
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 0);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(order[3], 1);
+}
+
+}  // namespace
+}  // namespace apt

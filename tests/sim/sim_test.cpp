@@ -1,0 +1,149 @@
+// Tests for the hardware model and simulation context.
+#include <gtest/gtest.h>
+
+#include "sim/hardware.h"
+#include "sim/sim_context.h"
+
+namespace apt {
+namespace {
+
+TEST(HardwareTest, SingleMachineLayout) {
+  const ClusterSpec c = SingleMachineCluster(8);
+  EXPECT_EQ(c.num_machines(), 1);
+  EXPECT_EQ(c.num_devices(), 8);
+  EXPECT_EQ(c.MachineOf(0), 0);
+  EXPECT_EQ(c.MachineOf(7), 0);
+  EXPECT_EQ(c.LocalIndex(5), 5);
+  EXPECT_THROW(c.MachineOf(8), Error);
+}
+
+TEST(HardwareTest, MultiMachineLayout) {
+  const ClusterSpec c = MultiMachineCluster(4, 4);
+  EXPECT_EQ(c.num_machines(), 4);
+  EXPECT_EQ(c.num_devices(), 16);
+  EXPECT_EQ(c.MachineOf(0), 0);
+  EXPECT_EQ(c.MachineOf(4), 1);
+  EXPECT_EQ(c.MachineOf(15), 3);
+  EXPECT_EQ(c.LocalIndex(6), 2);
+}
+
+TEST(HardwareTest, LinkSelectionIntraVsInter) {
+  const ClusterSpec c = MultiMachineCluster(2, 2);
+  const LinkSpec intra = c.LinkBetween(0, 1);
+  const LinkSpec inter = c.LinkBetween(0, 2);
+  EXPECT_EQ(intra.bandwidth_bytes_per_s, c.machines[0].pcie.bandwidth_bytes_per_s);
+  EXPECT_EQ(inter.bandwidth_bytes_per_s, c.network.bandwidth_bytes_per_s);
+}
+
+TEST(HardwareTest, NvlinkPreferredWhenPresent) {
+  const ClusterSpec c = SingleMachineCluster(4, /*nvlink=*/true);
+  const LinkSpec l = c.LinkBetween(0, 1);
+  EXPECT_EQ(l.bandwidth_bytes_per_s, c.machines[0].nvlink.bandwidth_bytes_per_s);
+  EXPECT_GT(l.bandwidth_bytes_per_s, c.machines[0].pcie.bandwidth_bytes_per_s);
+}
+
+TEST(HardwareTest, CpuLinkLocalVsRemote) {
+  const ClusterSpec c = MultiMachineCluster(2, 2);
+  EXPECT_EQ(c.LinkToCpu(0, 0).bandwidth_bytes_per_s,
+            c.machines[0].pcie.bandwidth_bytes_per_s);
+  EXPECT_EQ(c.LinkToCpu(0, 1).bandwidth_bytes_per_s, c.network.bandwidth_bytes_per_s);
+}
+
+TEST(HardwareTest, TransferSecondsLinear) {
+  const LinkSpec link{1e9, 1e-5};
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 1e-5);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1e9), 1.0 + 1e-5);
+}
+
+TEST(HardwareTest, EffectiveFlopsBelowPeak) {
+  const DeviceSpec t4;
+  EXPECT_LT(t4.EffectiveFlops(), t4.fp32_flops);
+  EXPECT_GT(t4.EffectiveFlops(), 0.0);
+}
+
+TEST(SimContextTest, ClocksAdvanceAndBarrier) {
+  SimContext sim(SingleMachineCluster(3));
+  sim.Advance(0, 1.0, Phase::kSample);
+  sim.Advance(1, 2.0, Phase::kLoad);
+  EXPECT_DOUBLE_EQ(sim.Now(0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Now(2), 0.0);
+  EXPECT_DOUBLE_EQ(sim.MaxNow(), 2.0);
+  sim.BarrierAll(Phase::kTrain);
+  for (DeviceId d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(sim.Now(d), 2.0);
+  // Wait time was attributed to kTrain.
+  EXPECT_DOUBLE_EQ(sim.PhaseOf(0, Phase::kTrain), 1.0);
+  EXPECT_DOUBLE_EQ(sim.PhaseOf(2, Phase::kTrain), 2.0);
+  EXPECT_DOUBLE_EQ(sim.PhaseOf(1, Phase::kTrain), 0.0);
+}
+
+TEST(SimContextTest, PhaseAccounting) {
+  SimContext sim(SingleMachineCluster(2));
+  sim.Advance(0, 1.5, Phase::kSample);
+  sim.Advance(0, 0.5, Phase::kSample);
+  sim.Advance(1, 3.0, Phase::kSample);
+  EXPECT_DOUBLE_EQ(sim.PhaseTotal(Phase::kSample), 5.0);
+  EXPECT_DOUBLE_EQ(sim.PhaseMax(Phase::kSample), 3.0);
+  sim.ResetClocks();
+  EXPECT_DOUBLE_EQ(sim.MaxNow(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.PhaseTotal(Phase::kSample), 0.0);
+}
+
+TEST(SimContextTest, NegativeAdvanceRejected) {
+  SimContext sim(SingleMachineCluster(1));
+  EXPECT_THROW(sim.Advance(0, -1.0, Phase::kTrain), Error);
+  EXPECT_THROW(sim.Advance(5, 1.0, Phase::kTrain), Error);
+}
+
+TEST(SimContextTest, ComputeSecondsScaleWithFlops) {
+  SimContext sim(SingleMachineCluster(1));
+  const double t1 = sim.ComputeSeconds(0, 1e9);
+  const double t2 = sim.ComputeSeconds(0, 2e9);
+  EXPECT_GT(t2, t1);
+  // Kernel launch overhead dominates tiny kernels.
+  const double t0 = sim.ComputeSeconds(0, 1.0);
+  EXPECT_NEAR(t0, sim.cluster().device(0).kernel_launch_s, 1e-9);
+}
+
+TEST(SimContextTest, MemoryAccountingAndOom) {
+  SimContext sim(SingleMachineCluster(2));
+  const std::int64_t cap = sim.cluster().device(0).memory_bytes;
+  sim.AllocPersistent(0, cap / 2);
+  sim.NoteTransient(0, cap / 4);
+  EXPECT_EQ(sim.PeakMemory(0), cap / 2 + cap / 4);
+  EXPECT_FALSE(sim.AnyOom());
+  sim.NoteTransient(0, cap);
+  EXPECT_TRUE(sim.AnyOom());
+  EXPECT_EQ(sim.OomDevices(), std::vector<DeviceId>{0});
+  sim.ResetMemory();
+  EXPECT_FALSE(sim.AnyOom());
+  EXPECT_EQ(sim.PeakMemory(0), 0);
+}
+
+TEST(SimContextTest, TransientDoesNotAccumulate) {
+  // NoteTransient tracks a high-water mark, not a sum.
+  SimContext sim(SingleMachineCluster(1));
+  sim.NoteTransient(0, 100);
+  sim.NoteTransient(0, 50);
+  EXPECT_EQ(sim.PeakMemory(0), 100);
+}
+
+TEST(SimContextTest, TrafficCounters) {
+  SimContext sim(SingleMachineCluster(2));
+  sim.CountTraffic(TrafficClass::kPeerGpu, 1000);
+  sim.CountTraffic(TrafficClass::kPeerGpu, 500);
+  EXPECT_EQ(sim.TrafficBytes(TrafficClass::kPeerGpu), 1500);
+  EXPECT_EQ(sim.TrafficBytes(TrafficClass::kCrossMachine), 0);
+  sim.ResetTraffic();
+  EXPECT_EQ(sim.TrafficBytes(TrafficClass::kPeerGpu), 0);
+}
+
+TEST(SimContextTest, LinkClassification) {
+  SimContext sim(MultiMachineCluster(2, 2));
+  EXPECT_EQ(sim.ClassifyDeviceLink(0, 1), TrafficClass::kPeerGpu);
+  EXPECT_EQ(sim.ClassifyDeviceLink(1, 2), TrafficClass::kCrossMachine);
+  EXPECT_EQ(sim.ClassifyCpuLink(0, 0), TrafficClass::kLocalCpuGpu);
+  EXPECT_EQ(sim.ClassifyCpuLink(0, 1), TrafficClass::kCrossMachine);
+}
+
+}  // namespace
+}  // namespace apt

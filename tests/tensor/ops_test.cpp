@@ -1,0 +1,243 @@
+// Dense kernel tests: shape checks, exact small cases, and numerical
+// gradient checks for the loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace apt {
+namespace {
+
+Tensor RandTensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Tensor t(r, c);
+  Rng rng(seed);
+  UniformInit(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(TensorTest, ShapeAndAccessors) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.bytes(), 48);
+  t.at(2, 3) = 5.0f;
+  EXPECT_EQ(t(2, 3), 5.0f);
+  EXPECT_EQ(t.ShapeString(), "[3, 4]");
+  EXPECT_THROW(t.at(3, 0), Error);
+  EXPECT_THROW(t.at(0, 4), Error);
+}
+
+TEST(TensorTest, RowSpanAndFill) {
+  Tensor t(2, 3);
+  t.Fill(2.5f);
+  for (float v : t.row_span(1)) EXPECT_EQ(v, 2.5f);
+  t.Zero();
+  EXPECT_EQ(t(0, 0), 0.0f);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_THROW(Tensor(2, 2, {1, 2, 3}), Error);
+}
+
+TEST(MatmulTest, KnownProduct) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c(2, 2);
+  Matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 58);
+  EXPECT_FLOAT_EQ(c(0, 1), 64);
+  EXPECT_FLOAT_EQ(c(1, 0), 139);
+  EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(MatmulTest, AlphaBetaAccumulate) {
+  Tensor a(1, 1, {2});
+  Tensor b(1, 1, {3});
+  Tensor c(1, 1, {10});
+  Matmul(a, b, c, /*alpha=*/2.0f, /*beta=*/1.0f);
+  EXPECT_FLOAT_EQ(c(0, 0), 22);  // 10 + 2*2*3
+  Matmul(a, b, c, 1.0f, 0.5f);
+  EXPECT_FLOAT_EQ(c(0, 0), 17);  // 22*0.5 + 6
+}
+
+TEST(MatmulTest, TransposedVariantsAgree) {
+  const Tensor a = RandTensor(5, 7, 1);
+  const Tensor b = RandTensor(7, 4, 2);
+  Tensor ref(5, 4);
+  Matmul(a, b, ref);
+  // MatmulTN: pass a^T explicitly.
+  Tensor at(7, 5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 7; ++j) at(j, i) = a(i, j);
+  }
+  Tensor c1(5, 4);
+  MatmulTN(at, b, c1);
+  EXPECT_LT(MaxAbsDiff(ref, c1), 1e-5f);
+  // MatmulNT: pass b^T explicitly.
+  Tensor bt(4, 7);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) bt(j, i) = b(i, j);
+  }
+  Tensor c2(5, 4);
+  MatmulNT(a, bt, c2);
+  EXPECT_LT(MaxAbsDiff(ref, c2), 1e-5f);
+}
+
+TEST(MatmulTest, ShapeMismatchThrows) {
+  Tensor a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(Matmul(a, b, c), Error);
+}
+
+TEST(ElementwiseTest, AxpyScaleAdd) {
+  Tensor x(1, 4, {1, 2, 3, 4});
+  Tensor y(1, 4, {10, 20, 30, 40});
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 3), 48);
+  Scale(y, 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 0), 6);
+  Tensor out(1, 4);
+  Add(x, y, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 7);
+}
+
+TEST(ElementwiseTest, BiasRoundTrip) {
+  Tensor x(3, 2);
+  Tensor bias(1, 2, {1.5f, -2.0f});
+  AddBiasRows(x, bias);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(x(i, 0), 1.5f);
+    EXPECT_FLOAT_EQ(x(i, 1), -2.0f);
+  }
+  Tensor gb(1, 2);
+  BiasGradRows(x, gb);
+  EXPECT_FLOAT_EQ(gb(0, 0), 4.5f);
+  EXPECT_FLOAT_EQ(gb(0, 1), -6.0f);
+}
+
+TEST(ActivationTest, ReluForwardBackward) {
+  Tensor x(1, 4, {-1, 0, 2, -3});
+  Tensor y(1, 4);
+  Relu(x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 0);
+  EXPECT_FLOAT_EQ(y(0, 2), 2);
+  Tensor gy(1, 4, {1, 1, 1, 1});
+  Tensor gx(1, 4);
+  ReluBackward(x, gy, gx);
+  EXPECT_FLOAT_EQ(gx(0, 0), 0);
+  EXPECT_FLOAT_EQ(gx(0, 2), 1);
+}
+
+TEST(ActivationTest, LeakyReluForwardBackward) {
+  Tensor x(1, 2, {-2, 3});
+  Tensor y(1, 2);
+  LeakyRelu(x, y, 0.2f);
+  EXPECT_FLOAT_EQ(y(0, 0), -0.4f);
+  EXPECT_FLOAT_EQ(y(0, 1), 3.0f);
+  Tensor gy(1, 2, {1, 1});
+  Tensor gx(1, 2);
+  LeakyReluBackward(x, gy, gx, 0.2f);
+  EXPECT_FLOAT_EQ(gx(0, 0), 0.2f);
+  EXPECT_FLOAT_EQ(gx(0, 1), 1.0f);
+}
+
+TEST(GatherScatterTest, GatherRows) {
+  const Tensor src = RandTensor(6, 3, 4);
+  const std::vector<std::int64_t> idx{4, 0, 4};
+  Tensor out(3, 3);
+  GatherRows(src, idx, out);
+  EXPECT_FLOAT_EQ(out(0, 1), src(4, 1));
+  EXPECT_FLOAT_EQ(out(1, 2), src(0, 2));
+  EXPECT_FLOAT_EQ(out(2, 0), src(4, 0));
+  const std::vector<std::int64_t> bad{7};
+  Tensor small(1, 3);
+  EXPECT_THROW(GatherRows(src, bad, small), Error);
+}
+
+TEST(GatherScatterTest, ScatterAddAccumulatesDuplicates) {
+  Tensor src(3, 2, {1, 1, 2, 2, 3, 3});
+  const std::vector<std::int64_t> idx{0, 1, 0};
+  Tensor dst(2, 2);
+  ScatterAddRows(src, idx, dst);
+  EXPECT_FLOAT_EQ(dst(0, 0), 4);  // 1 + 3
+  EXPECT_FLOAT_EQ(dst(1, 0), 2);
+}
+
+TEST(GatherScatterTest, ScatterRowsOverwrites) {
+  Tensor src(2, 1, {5, 6});
+  const std::vector<std::int64_t> idx{1, 0};
+  Tensor dst(2, 1, {9, 9});
+  ScatterRows(src, idx, dst);
+  EXPECT_FLOAT_EQ(dst(0, 0), 6);
+  EXPECT_FLOAT_EQ(dst(1, 0), 5);
+}
+
+TEST(LossTest, PerfectPredictionLowLoss) {
+  Tensor logits(2, 3);
+  logits(0, 1) = 20.0f;
+  logits(1, 2) = 20.0f;
+  const std::vector<std::int64_t> labels{1, 2};
+  std::int64_t correct = 0;
+  const float loss = SoftmaxCrossEntropy(logits, labels, nullptr, &correct);
+  EXPECT_LT(loss, 1e-3f);
+  EXPECT_EQ(correct, 2);
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  Tensor logits(4, 8);
+  const std::vector<std::int64_t> labels{0, 1, 2, 3};
+  const float loss = SoftmaxCrossEntropy(logits, labels, nullptr, nullptr);
+  EXPECT_NEAR(loss, std::log(8.0f), 1e-5f);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  Tensor logits = RandTensor(3, 5, 6);
+  const std::vector<std::int64_t> labels{2, 0, 4};
+  Tensor grad(3, 5);
+  SoftmaxCrossEntropy(logits, labels, &grad, nullptr);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      Tensor lp = logits, lm = logits;
+      lp(i, j) += eps;
+      lm(i, j) -= eps;
+      const float fp = SoftmaxCrossEntropy(lp, labels, nullptr, nullptr);
+      const float fm = SoftmaxCrossEntropy(lm, labels, nullptr, nullptr);
+      EXPECT_NEAR(grad(i, j), (fp - fm) / (2 * eps), 2e-3f)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(LossTest, InvalidLabelThrows) {
+  Tensor logits(1, 3);
+  const std::vector<std::int64_t> labels{3};
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, labels, nullptr, nullptr), Error);
+}
+
+TEST(ReductionTest, MaxAbsDiffAndSumSquares) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {1, 2.5f, 3});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+  EXPECT_DOUBLE_EQ(SumSquares(a), 14.0);
+}
+
+TEST(InitTest, XavierRangeAndDeterminism) {
+  Tensor w1(64, 64), w2(64, 64);
+  Rng r1(42), r2(42);
+  XavierUniform(w1, r1);
+  XavierUniform(w2, r2);
+  EXPECT_EQ(MaxAbsDiff(w1, w2), 0.0f);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (std::int64_t i = 0; i < w1.numel(); ++i) {
+    EXPECT_LE(std::fabs(w1.data()[i]), bound);
+  }
+}
+
+}  // namespace
+}  // namespace apt

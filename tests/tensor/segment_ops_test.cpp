@@ -1,0 +1,221 @@
+// Sparse kernel tests: exact small cases, forward/backward consistency,
+// and finite-difference gradient checks for the attention kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+
+namespace apt {
+namespace {
+
+// A tiny bipartite graph: 3 dst, 4 src.
+// dst0 <- {0, 1}; dst1 <- {}; dst2 <- {1, 2, 3}.
+struct TinyGraph {
+  std::vector<std::int64_t> indptr{0, 2, 2, 5};
+  std::vector<std::int64_t> col{0, 1, 1, 2, 3};
+  CsrView csr() const { return {indptr, col}; }
+};
+
+Tensor RandTensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  Tensor t(r, c);
+  Rng rng(seed);
+  UniformInit(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(SpmmTest, SumExact) {
+  TinyGraph g;
+  Tensor src(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor out(3, 2);
+  SpmmSum(g.csr(), src, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 4);   // 1 + 3
+  EXPECT_FLOAT_EQ(out(1, 0), 0);   // empty row
+  EXPECT_FLOAT_EQ(out(2, 1), 18);  // 4 + 6 + 8
+}
+
+TEST(SpmmTest, MeanExact) {
+  TinyGraph g;
+  Tensor src(4, 1, {2, 4, 6, 8});
+  Tensor out(3, 1);
+  SpmmMean(g.csr(), src, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 3);  // (2+4)/2
+  EXPECT_FLOAT_EQ(out(1, 0), 0);
+  EXPECT_FLOAT_EQ(out(2, 0), 6);  // (4+6+8)/3
+}
+
+TEST(SpmmTest, MeanBackwardIsTranspose) {
+  // <SpmmMean(x), g> == <x, SpmmMeanBackward(g)> (adjoint identity).
+  TinyGraph g;
+  const Tensor x = RandTensor(4, 3, 1);
+  const Tensor gy = RandTensor(3, 3, 2);
+  Tensor y(3, 3);
+  SpmmMean(g.csr(), x, y);
+  Tensor gx(4, 3);
+  SpmmMeanBackward(g.csr(), gy, gx);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) lhs += y.data()[i] * gy.data()[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x.data()[i] * gx.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(SpmmTest, SumBackwardIsTranspose) {
+  TinyGraph g;
+  const Tensor x = RandTensor(4, 2, 3);
+  const Tensor gy = RandTensor(3, 2, 4);
+  Tensor y(3, 2);
+  SpmmSum(g.csr(), x, y);
+  Tensor gx(4, 2);
+  SpmmSumBackward(g.csr(), gy, gx);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) lhs += y.data()[i] * gy.data()[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x.data()[i] * gx.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(WeightedSpmmTest, MatchesManual) {
+  TinyGraph g;
+  Tensor src(4, 1, {1, 2, 3, 4});
+  const std::vector<float> w{0.5f, 0.25f, 1.0f, 2.0f, 3.0f};
+  Tensor out(3, 1);
+  SpmmWeightedSum(g.csr(), w, src, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 1.0f);   // 0.5*1 + 0.25*2
+  EXPECT_FLOAT_EQ(out(2, 0), 20.0f);  // 1*2 + 2*3 + 3*4
+}
+
+TEST(WeightedSpmmTest, BackwardGradW) {
+  TinyGraph g;
+  const Tensor src = RandTensor(4, 3, 5);
+  std::vector<float> w{0.1f, 0.2f, 0.3f, 0.4f, 0.5f};
+  const Tensor gy = RandTensor(3, 3, 6);
+  std::vector<float> gw(5, 0.0f);
+  Tensor gsrc(4, 3);
+  SpmmWeightedSumBackward(g.csr(), w, src, gy, gw, &gsrc);
+  // Finite difference on each edge weight.
+  auto loss = [&](const std::vector<float>& ww) {
+    Tensor out(3, 3);
+    SpmmWeightedSum(g.csr(), ww, src, out);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) acc += out.data()[i] * gy.data()[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t e = 0; e < w.size(); ++e) {
+    auto wp = w, wm = w;
+    wp[e] += eps;
+    wm[e] -= eps;
+    EXPECT_NEAR(gw[e], (loss(wp) - loss(wm)) / (2 * eps), 1e-3) << "edge " << e;
+  }
+}
+
+TEST(SddmmTest, AddAndBackward) {
+  TinyGraph g;
+  const std::vector<float> a_src{1, 2, 3, 4};
+  const std::vector<float> a_dst{10, 20, 30};
+  std::vector<float> score(5);
+  SddmmAdd(g.csr(), a_src, a_dst, score);
+  EXPECT_FLOAT_EQ(score[0], 11);  // src0 + dst0
+  EXPECT_FLOAT_EQ(score[4], 34);  // src3 + dst2
+  std::vector<float> gs{1, 1, 1, 1, 1};
+  std::vector<float> ga_src(4, 0), ga_dst(3, 0);
+  SddmmAddBackward(g.csr(), gs, ga_src, ga_dst);
+  EXPECT_FLOAT_EQ(ga_src[1], 2);  // src1 on two edges
+  EXPECT_FLOAT_EQ(ga_dst[2], 3);
+  EXPECT_FLOAT_EQ(ga_dst[1], 0);
+}
+
+TEST(SegmentSoftmaxTest, RowsSumToOne) {
+  TinyGraph g;
+  const std::vector<float> score{0.5f, -1.0f, 2.0f, 0.0f, 1.0f};
+  std::vector<float> out(5);
+  SegmentSoftmax(g.csr(), score, out);
+  EXPECT_NEAR(out[0] + out[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(out[2] + out[3] + out[4], 1.0f, 1e-6f);
+  for (float v : out) EXPECT_GT(v, 0.0f);
+}
+
+TEST(SegmentSoftmaxTest, StableUnderLargeLogits) {
+  TinyGraph g;
+  const std::vector<float> score{1000.0f, 999.0f, 500.0f, 400.0f, 300.0f};
+  std::vector<float> out(5);
+  SegmentSoftmax(g.csr(), score, out);
+  for (float v : out) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_FALSE(std::isinf(v));
+  }
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(SegmentSoftmaxTest, BackwardFiniteDifference) {
+  TinyGraph g;
+  std::vector<float> score{0.5f, -1.0f, 2.0f, 0.0f, 1.0f};
+  std::vector<float> out(5);
+  SegmentSoftmax(g.csr(), score, out);
+  const std::vector<float> gy{0.3f, -0.7f, 1.1f, 0.2f, -0.4f};
+  std::vector<float> gs(5, 0.0f);
+  SegmentSoftmaxBackward(g.csr(), out, gy, gs);
+  auto loss = [&](const std::vector<float>& s) {
+    std::vector<float> o(5);
+    SegmentSoftmax(g.csr(), s, o);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < o.size(); ++i) acc += o[i] * gy[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t e = 0; e < score.size(); ++e) {
+    auto sp = score, sm = score;
+    sp[e] += eps;
+    sm[e] -= eps;
+    EXPECT_NEAR(gs[e], (loss(sp) - loss(sm)) / (2 * eps), 1e-3) << "edge " << e;
+  }
+}
+
+TEST(SegmentedSpmmTest, MatchesPerSegmentSpmm) {
+  // Two independent segments executed jointly must match two separate calls.
+  TinyGraph g1, g2;
+  const Tensor src = RandTensor(8, 2, 7);  // segment 0: rows 0..3; segment 1: 4..7
+  const std::vector<std::int64_t> src_off{0, 4, 8};
+  const std::vector<std::int64_t> dst_off{0, 3, 6};
+  const std::vector<CsrView> segs{g1.csr(), g2.csr()};
+  Tensor out(6, 2);
+  SegmentedSpmmMean(segs, src_off, dst_off, src, out);
+
+  Tensor s0(4, 2), s1(4, 2);
+  std::copy_n(src.data(), 8, s0.data());
+  std::copy_n(src.data() + 8, 8, s1.data());
+  Tensor o0(3, 2), o1(3, 2);
+  SpmmMean(g1.csr(), s0, o0);
+  SpmmMean(g2.csr(), s1, o1);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(out(i, 0), o0(i, 0));
+    EXPECT_FLOAT_EQ(out(3 + i, 1), o1(i, 1));
+  }
+
+  // Backward consistency with per-segment backward.
+  const Tensor gy = RandTensor(6, 2, 8);
+  Tensor gx(8, 2);
+  SegmentedSpmmMeanBackward(segs, src_off, dst_off, gy, gx);
+  Tensor gy0(3, 2), gy1(3, 2);
+  std::copy_n(gy.data(), 6, gy0.data());
+  std::copy_n(gy.data() + 6, 6, gy1.data());
+  Tensor gx0(4, 2), gx1(4, 2);
+  SpmmMeanBackward(g1.csr(), gy0, gx0);
+  SpmmMeanBackward(g2.csr(), gy1, gx1);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(gx(i, 0), gx0(i, 0));
+    EXPECT_FLOAT_EQ(gx(4 + i, 0), gx1(i, 0));
+  }
+}
+
+TEST(SpmmTest, ShapeMismatchThrows) {
+  TinyGraph g;
+  Tensor src(4, 2);
+  Tensor bad_out(2, 2);
+  EXPECT_THROW(SpmmSum(g.csr(), src, bad_out), Error);
+}
+
+}  // namespace
+}  // namespace apt

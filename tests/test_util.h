@@ -1,0 +1,70 @@
+// Shared fixtures and helpers for the APT test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apt/dryrun.h"
+#include "engine/trainer.h"
+#include "feature/cache_policy.h"
+#include "graph/dataset.h"
+#include "partition/partitioner.h"
+#include "sim/hardware.h"
+
+namespace apt::testing {
+
+/// A small, fast dataset for engine tests (learnable, community-structured).
+inline Dataset SmallDataset(std::int64_t feature_dim = 32, NodeId nodes = 2000,
+                            std::uint64_t seed = 3) {
+  DatasetParams p;
+  p.name = "test";
+  p.num_nodes = nodes;
+  p.num_edges = nodes * 8;
+  p.feature_dim = feature_dim;
+  p.num_classes = 6;
+  p.num_communities = 6;
+  p.zipf_exponent = 0.7;
+  p.intra_prob = 0.85;
+  p.seed = seed;
+  return MakeDataset(p);
+}
+
+/// Builds a trainer for `strategy` with the full Plan-derived cache config.
+/// `force_chunked` pins the seed assignment so different strategies consume
+/// identical mini-batches (the precondition of exact equivalence checks).
+inline std::unique_ptr<ParallelTrainer> MakeTrainer(
+    const Dataset& ds, const ClusterSpec& cluster, Strategy strategy,
+    ModelKind kind = ModelKind::kSage, bool force_chunked = true,
+    std::int64_t cache_bytes = 1 << 20, std::vector<int> fanouts = {5, 5},
+    std::int64_t batch = 128, std::int64_t hidden = 0) {
+  ModelConfig model;
+  model.kind = kind;
+  model.num_layers = static_cast<int>(fanouts.size());
+  model.hidden_dim = hidden > 0 ? hidden : (kind == ModelKind::kGat ? 4 : 16);
+  model.gat_heads = 2;
+  model.input_dim = ds.feature_dim();
+  model.num_classes = ds.num_classes;
+
+  EngineOptions opts;
+  opts.strategy = strategy;
+  opts.fanouts = std::move(fanouts);
+  opts.batch_size_per_device = batch;
+  opts.cache_bytes_per_device = cache_bytes;
+  opts.seed_assignment = force_chunked ? SeedAssignment::kChunked
+                                       : EngineOptions::DefaultAssignment(strategy);
+
+  MultilevelPartitioner part;
+  std::vector<PartId> partition = part.Partition(ds.graph, cluster.num_devices());
+  const DryRunResult dry = DryRun(ds, cluster, partition, opts, model);
+
+  TrainerSetup setup;
+  setup.cluster = cluster;
+  setup.model = model;
+  setup.engine = opts;
+  setup.partition = std::move(partition);
+  setup.cache = dry.caches[static_cast<std::size_t>(strategy)];
+  setup.feature_placement = FeaturePlacementFromPartition(setup.partition, cluster);
+  return std::make_unique<ParallelTrainer>(ds, std::move(setup));
+}
+
+}  // namespace apt::testing
