@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvlink.dir/ablation_nvlink.cpp.o"
+  "CMakeFiles/ablation_nvlink.dir/ablation_nvlink.cpp.o.d"
+  "ablation_nvlink"
+  "ablation_nvlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

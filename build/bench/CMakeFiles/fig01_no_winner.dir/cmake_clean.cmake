@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_no_winner.dir/fig01_no_winner.cpp.o"
+  "CMakeFiles/fig01_no_winner.dir/fig01_no_winner.cpp.o.d"
+  "fig01_no_winner"
+  "fig01_no_winner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_no_winner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_fig07_accuracy.dir/fig06_fig07_accuracy.cpp.o"
+  "CMakeFiles/fig06_fig07_accuracy.dir/fig06_fig07_accuracy.cpp.o.d"
+  "fig06_fig07_accuracy"
+  "fig06_fig07_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_fig07_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

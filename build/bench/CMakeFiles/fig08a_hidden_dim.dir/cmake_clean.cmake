@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_hidden_dim.dir/fig08a_hidden_dim.cpp.o"
+  "CMakeFiles/fig08a_hidden_dim.dir/fig08a_hidden_dim.cpp.o.d"
+  "fig08a_hidden_dim"
+  "fig08a_hidden_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_hidden_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

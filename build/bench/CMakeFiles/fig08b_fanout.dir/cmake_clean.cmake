@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_fanout.dir/fig08b_fanout.cpp.o"
+  "CMakeFiles/fig08b_fanout.dir/fig08b_fanout.cpp.o.d"
+  "fig08b_fanout"
+  "fig08b_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multi_machine.dir/fig09_multi_machine.cpp.o"
+  "CMakeFiles/fig09_multi_machine.dir/fig09_multi_machine.cpp.o.d"
+  "fig09_multi_machine"
+  "fig09_multi_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multi_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

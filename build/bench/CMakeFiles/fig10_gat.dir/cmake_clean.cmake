@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gat.dir/fig10_gat.cpp.o"
+  "CMakeFiles/fig10_gat.dir/fig10_gat.cpp.o.d"
+  "fig10_gat"
+  "fig10_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

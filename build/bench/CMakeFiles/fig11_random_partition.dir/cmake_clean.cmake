@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_random_partition.dir/fig11_random_partition.cpp.o"
+  "CMakeFiles/fig11_random_partition.dir/fig11_random_partition.cpp.o.d"
+  "fig11_random_partition"
+  "fig11_random_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_random_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

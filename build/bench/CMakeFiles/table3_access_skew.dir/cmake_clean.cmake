@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_access_skew.dir/table3_access_skew.cpp.o"
+  "CMakeFiles/table3_access_skew.dir/table3_access_skew.cpp.o.d"
+  "table3_access_skew"
+  "table3_access_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_access_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_apt_speedup.dir/table4_apt_speedup.cpp.o"
+  "CMakeFiles/table4_apt_speedup.dir/table4_apt_speedup.cpp.o.d"
+  "table4_apt_speedup"
+  "table4_apt_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_apt_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("runtime")
+subdirs("tensor")
+subdirs("graph")
+subdirs("partition")
+subdirs("sampling")
+subdirs("sim")
+subdirs("comm")
+subdirs("feature")
+subdirs("model")
+subdirs("engine")
+subdirs("apt")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_apt.dir/adapter.cpp.o"
+  "CMakeFiles/apt_apt.dir/adapter.cpp.o.d"
+  "CMakeFiles/apt_apt.dir/apt_system.cpp.o"
+  "CMakeFiles/apt_apt.dir/apt_system.cpp.o.d"
+  "CMakeFiles/apt_apt.dir/cost_model.cpp.o"
+  "CMakeFiles/apt_apt.dir/cost_model.cpp.o.d"
+  "CMakeFiles/apt_apt.dir/dryrun.cpp.o"
+  "CMakeFiles/apt_apt.dir/dryrun.cpp.o.d"
+  "CMakeFiles/apt_apt.dir/planner.cpp.o"
+  "CMakeFiles/apt_apt.dir/planner.cpp.o.d"
+  "libapt_apt.a"
+  "libapt_apt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_apt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

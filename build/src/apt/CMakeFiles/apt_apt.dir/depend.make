@@ -1,0 +1,2 @@
+# Empty dependencies file for apt_apt.
+# This may be replaced when dependencies are built.

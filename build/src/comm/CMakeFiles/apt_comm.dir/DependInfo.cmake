@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/apt_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/apt_comm.dir/collectives.cpp.o.d"
+  "/root/repo/src/comm/profiler.cpp" "src/comm/CMakeFiles/apt_comm.dir/profiler.cpp.o" "gcc" "src/comm/CMakeFiles/apt_comm.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/apt_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

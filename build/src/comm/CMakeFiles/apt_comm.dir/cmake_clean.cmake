@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_comm.dir/collectives.cpp.o"
+  "CMakeFiles/apt_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/apt_comm.dir/profiler.cpp.o"
+  "CMakeFiles/apt_comm.dir/profiler.cpp.o.d"
+  "libapt_comm.a"
+  "libapt_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

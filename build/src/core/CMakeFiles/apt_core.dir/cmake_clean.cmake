@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_core.dir/logging.cpp.o"
+  "CMakeFiles/apt_core.dir/logging.cpp.o.d"
+  "CMakeFiles/apt_core.dir/random.cpp.o"
+  "CMakeFiles/apt_core.dir/random.cpp.o.d"
+  "CMakeFiles/apt_core.dir/types.cpp.o"
+  "CMakeFiles/apt_core.dir/types.cpp.o.d"
+  "libapt_core.a"
+  "libapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

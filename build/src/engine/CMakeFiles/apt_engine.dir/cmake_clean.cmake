@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_engine.dir/dnp_executor.cpp.o"
+  "CMakeFiles/apt_engine.dir/dnp_executor.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/exec_common.cpp.o"
+  "CMakeFiles/apt_engine.dir/exec_common.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/executor_factory.cpp.o"
+  "CMakeFiles/apt_engine.dir/executor_factory.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/gdp_executor.cpp.o"
+  "CMakeFiles/apt_engine.dir/gdp_executor.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/nfp_executor.cpp.o"
+  "CMakeFiles/apt_engine.dir/nfp_executor.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/snp_executor.cpp.o"
+  "CMakeFiles/apt_engine.dir/snp_executor.cpp.o.d"
+  "CMakeFiles/apt_engine.dir/trainer.cpp.o"
+  "CMakeFiles/apt_engine.dir/trainer.cpp.o.d"
+  "libapt_engine.a"
+  "libapt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

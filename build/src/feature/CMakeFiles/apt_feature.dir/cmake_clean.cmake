@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_feature.dir/cache_policy.cpp.o"
+  "CMakeFiles/apt_feature.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/apt_feature.dir/feature_store.cpp.o"
+  "CMakeFiles/apt_feature.dir/feature_store.cpp.o.d"
+  "libapt_feature.a"
+  "libapt_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/apt_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/dataset.cpp.o"
+  "CMakeFiles/apt_graph.dir/dataset.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/generators.cpp.o"
+  "CMakeFiles/apt_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/io.cpp.o"
+  "CMakeFiles/apt_graph.dir/io.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/stats.cpp.o"
+  "CMakeFiles/apt_graph.dir/stats.cpp.o.d"
+  "libapt_graph.a"
+  "libapt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

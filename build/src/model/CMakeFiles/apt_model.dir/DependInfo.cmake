@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/gat_layer.cpp" "src/model/CMakeFiles/apt_model.dir/gat_layer.cpp.o" "gcc" "src/model/CMakeFiles/apt_model.dir/gat_layer.cpp.o.d"
+  "/root/repo/src/model/gnn_model.cpp" "src/model/CMakeFiles/apt_model.dir/gnn_model.cpp.o" "gcc" "src/model/CMakeFiles/apt_model.dir/gnn_model.cpp.o.d"
+  "/root/repo/src/model/optimizer.cpp" "src/model/CMakeFiles/apt_model.dir/optimizer.cpp.o" "gcc" "src/model/CMakeFiles/apt_model.dir/optimizer.cpp.o.d"
+  "/root/repo/src/model/sage_layer.cpp" "src/model/CMakeFiles/apt_model.dir/sage_layer.cpp.o" "gcc" "src/model/CMakeFiles/apt_model.dir/sage_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/apt_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/apt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/apt_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

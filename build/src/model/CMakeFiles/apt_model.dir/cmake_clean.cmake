@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_model.dir/gat_layer.cpp.o"
+  "CMakeFiles/apt_model.dir/gat_layer.cpp.o.d"
+  "CMakeFiles/apt_model.dir/gnn_model.cpp.o"
+  "CMakeFiles/apt_model.dir/gnn_model.cpp.o.d"
+  "CMakeFiles/apt_model.dir/optimizer.cpp.o"
+  "CMakeFiles/apt_model.dir/optimizer.cpp.o.d"
+  "CMakeFiles/apt_model.dir/sage_layer.cpp.o"
+  "CMakeFiles/apt_model.dir/sage_layer.cpp.o.d"
+  "libapt_model.a"
+  "libapt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/apt_partition.dir/multilevel.cpp.o.d"
+  "libapt_partition.a"
+  "libapt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/apt_runtime.dir/thread_pool.cpp.o.d"
+  "libapt_runtime.a"
+  "libapt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

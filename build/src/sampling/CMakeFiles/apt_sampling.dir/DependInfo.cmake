@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/block.cpp" "src/sampling/CMakeFiles/apt_sampling.dir/block.cpp.o" "gcc" "src/sampling/CMakeFiles/apt_sampling.dir/block.cpp.o.d"
+  "/root/repo/src/sampling/frequency.cpp" "src/sampling/CMakeFiles/apt_sampling.dir/frequency.cpp.o" "gcc" "src/sampling/CMakeFiles/apt_sampling.dir/frequency.cpp.o.d"
+  "/root/repo/src/sampling/minibatch.cpp" "src/sampling/CMakeFiles/apt_sampling.dir/minibatch.cpp.o" "gcc" "src/sampling/CMakeFiles/apt_sampling.dir/minibatch.cpp.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cpp" "src/sampling/CMakeFiles/apt_sampling.dir/neighbor_sampler.cpp.o" "gcc" "src/sampling/CMakeFiles/apt_sampling.dir/neighbor_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/apt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/apt_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

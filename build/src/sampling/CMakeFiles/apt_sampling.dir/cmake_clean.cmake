@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_sampling.dir/block.cpp.o"
+  "CMakeFiles/apt_sampling.dir/block.cpp.o.d"
+  "CMakeFiles/apt_sampling.dir/frequency.cpp.o"
+  "CMakeFiles/apt_sampling.dir/frequency.cpp.o.d"
+  "CMakeFiles/apt_sampling.dir/minibatch.cpp.o"
+  "CMakeFiles/apt_sampling.dir/minibatch.cpp.o.d"
+  "CMakeFiles/apt_sampling.dir/neighbor_sampler.cpp.o"
+  "CMakeFiles/apt_sampling.dir/neighbor_sampler.cpp.o.d"
+  "libapt_sampling.a"
+  "libapt_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

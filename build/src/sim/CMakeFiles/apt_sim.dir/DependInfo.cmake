@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/hardware.cpp" "src/sim/CMakeFiles/apt_sim.dir/hardware.cpp.o" "gcc" "src/sim/CMakeFiles/apt_sim.dir/hardware.cpp.o.d"
+  "/root/repo/src/sim/sim_context.cpp" "src/sim/CMakeFiles/apt_sim.dir/sim_context.cpp.o" "gcc" "src/sim/CMakeFiles/apt_sim.dir/sim_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_sim.dir/hardware.cpp.o"
+  "CMakeFiles/apt_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/apt_sim.dir/sim_context.cpp.o"
+  "CMakeFiles/apt_sim.dir/sim_context.cpp.o.d"
+  "libapt_sim.a"
+  "libapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_tensor.dir/init.cpp.o"
+  "CMakeFiles/apt_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/apt_tensor.dir/ops.cpp.o"
+  "CMakeFiles/apt_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/apt_tensor.dir/segment_ops.cpp.o"
+  "CMakeFiles/apt_tensor.dir/segment_ops.cpp.o.d"
+  "CMakeFiles/apt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/apt_tensor.dir/tensor.cpp.o.d"
+  "libapt_tensor.a"
+  "libapt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_test.dir/apt/apt_gat_test.cpp.o"
+  "CMakeFiles/apt_test.dir/apt/apt_gat_test.cpp.o.d"
+  "CMakeFiles/apt_test.dir/apt/apt_test.cpp.o"
+  "CMakeFiles/apt_test.dir/apt/apt_test.cpp.o.d"
+  "apt_test"
+  "apt_test.pdb"
+  "apt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

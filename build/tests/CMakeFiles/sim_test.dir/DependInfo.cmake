@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apt/CMakeFiles/apt_apt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/apt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/apt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/apt_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/apt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/apt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/apt_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/apt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/apt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/apt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
