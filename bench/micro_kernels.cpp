@@ -1,9 +1,23 @@
 // google-benchmark microbenchmarks for the numeric substrate: GEMM,
 // SpMM/SDDMM/segment-softmax kernels, and the neighbor sampler.
+//
+// Besides the human-readable console table, the run writes one JSON record
+// per benchmark to BENCH_kernels.json (op, shape, threads, flops_per_s /
+// bytes_per_s) so the perf trajectory is machine-trackable across PRs.
+// Thread-scaling variants pin the fork-join width in-process with
+// ScopedParallelismLimit; their names carry the lane count as the last /N.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/random.h"
 #include "graph/generators.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "sampling/block.h"
 #include "sampling/neighbor_sampler.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -11,6 +25,22 @@
 
 namespace apt {
 namespace {
+
+// Effective fork-join lanes for a requested limit (0 = unlimited).
+std::int64_t EffectiveLanes(std::int64_t limit) {
+  const std::int64_t degree = ThreadPool::Global().ParallelismDegree();
+  return limit <= 0 ? degree : std::min(limit, degree);
+}
+
+void SetRate(benchmark::State& state, const char* name, double per_iteration) {
+  state.counters[name] = benchmark::Counter(
+      per_iteration * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void SetThreadsCounter(benchmark::State& state, std::int64_t lanes) {
+  state.counters["threads"] = benchmark::Counter(static_cast<double>(lanes));
+}
 
 Tensor RandTensor(std::int64_t r, std::int64_t c, std::uint64_t seed) {
   Tensor t(r, c);
@@ -29,8 +59,31 @@ void BM_Matmul(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetRate(state, "flops_per_s", 2.0 * static_cast<double>(n) * n * n);
+  SetThreadsCounter(state, EffectiveLanes(0));
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulHidden(benchmark::State& state) {
+  // The hidden-dim-scale GEMM the executors spend their compute phase in:
+  // [batch x in_dim] x [in_dim x hidden]. Last arg = fork-join lane limit
+  // (0 = all lanes) for in-process thread-scaling curves.
+  const std::int64_t m = 4096, k = 256, n = 256;
+  ScopedParallelismLimit limit(state.range(0) == 0
+                                   ? ThreadPool::Global().ParallelismDegree()
+                                   : state.range(0));
+  const Tensor a = RandTensor(m, k, 1);
+  const Tensor b = RandTensor(k, n, 2);
+  Tensor c(m, n);
+  for (auto _ : state) {
+    Matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  SetRate(state, "flops_per_s", 2.0 * static_cast<double>(m) * k * n);
+  SetThreadsCounter(state, EffectiveLanes(state.range(0)));
+}
+BENCHMARK(BM_MatmulHidden)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void BM_MatmulTallSkinny(benchmark::State& state) {
   // The engine's dominant shape: many rows x feature dim x hidden dim.
@@ -43,8 +96,42 @@ void BM_MatmulTallSkinny(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * rows * 128 * 32);
+  SetRate(state, "flops_per_s", 2.0 * static_cast<double>(rows) * 128 * 32);
+  SetThreadsCounter(state, EffectiveLanes(0));
 }
 BENCHMARK(BM_MatmulTallSkinny)->Arg(1024)->Arg(8192);
+
+void BM_MatmulTN(benchmark::State& state) {
+  // Weight-gradient shape: [rows x dim]^T x [rows x hidden].
+  const std::int64_t rows = state.range(0), dim = 256, hidden = 64;
+  const Tensor a = RandTensor(rows, dim, 11);
+  const Tensor b = RandTensor(rows, hidden, 12);
+  Tensor c(dim, hidden);
+  for (auto _ : state) {
+    MatmulTN(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * dim * hidden);
+  SetRate(state, "flops_per_s", 2.0 * static_cast<double>(rows) * dim * hidden);
+  SetThreadsCounter(state, EffectiveLanes(0));
+}
+BENCHMARK(BM_MatmulTN)->Arg(4096);
+
+void BM_MatmulNT(benchmark::State& state) {
+  // Input-gradient shape: [rows x hidden] x [dim x hidden]^T.
+  const std::int64_t rows = state.range(0), dim = 256, hidden = 64;
+  const Tensor a = RandTensor(rows, hidden, 13);
+  const Tensor b = RandTensor(dim, hidden, 14);
+  Tensor c(rows, dim);
+  for (auto _ : state) {
+    MatmulNT(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * dim * hidden);
+  SetRate(state, "flops_per_s", 2.0 * static_cast<double>(rows) * dim * hidden);
+  SetThreadsCounter(state, EffectiveLanes(0));
+}
+BENCHMARK(BM_MatmulNT)->Arg(4096);
 
 struct SpmmFixture {
   std::vector<std::int64_t> indptr;
@@ -75,8 +162,37 @@ void BM_SpmmMean(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * f.csr().num_edges() * 64);
+  SetRate(state, "bytes_per_s",
+          static_cast<double>(f.csr().num_edges()) * 64 * 2 * sizeof(float));
+  SetThreadsCounter(state, EffectiveLanes(0));
 }
 BENCHMARK(BM_SpmmMean)->Arg(1024)->Arg(8192);
+
+void BM_SpmmMeanBackward(benchmark::State& state) {
+  // Gradient scatter through a Block, so the cached transpose path runs —
+  // the kernel that used to be fully serial. Last arg = lane limit.
+  const std::int64_t num_dst = 8192, dim = 64;
+  ScopedParallelismLimit limit(state.range(0) == 0
+                                   ? ThreadPool::Global().ParallelismDegree()
+                                   : state.range(0));
+  SpmmFixture f(num_dst, 10, dim);
+  Block blk;
+  blk.num_dst = num_dst;
+  blk.indptr = f.indptr;
+  blk.col = f.col;
+  blk.src_nodes.assign(static_cast<std::size_t>(num_dst * 4), 0);
+  const Tensor grad_out = RandTensor(num_dst, dim, 9);
+  Tensor grad_src(num_dst * 4, dim);
+  for (auto _ : state) {
+    SpmmMeanBackward(blk.csr(), grad_out, grad_src);
+    benchmark::DoNotOptimize(grad_src.data());
+  }
+  state.SetItemsProcessed(state.iterations() * blk.num_edges() * dim);
+  SetRate(state, "bytes_per_s",
+          static_cast<double>(blk.num_edges()) * dim * 3 * sizeof(float));
+  SetThreadsCounter(state, EffectiveLanes(state.range(0)));
+}
+BENCHMARK(BM_SpmmMeanBackward)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   SpmmFixture f(state.range(0), 10, 1);
@@ -89,6 +205,9 @@ void BM_SegmentSoftmax(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * f.csr().num_edges());
+  SetRate(state, "bytes_per_s",
+          static_cast<double>(f.csr().num_edges()) * 2 * sizeof(float));
+  SetThreadsCounter(state, EffectiveLanes(0));
 }
 BENCHMARK(BM_SegmentSoftmax)->Arg(8192);
 
@@ -111,10 +230,80 @@ void BM_NeighborSampling(benchmark::State& state) {
     benchmark::DoNotOptimize(batch.blocks.front().num_edges());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  SetThreadsCounter(state, 1);
 }
 BENCHMARK(BM_NeighborSampling)->Arg(128)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json emission: a console reporter that also accumulates one
+// flat JSON record per run. Schema per record:
+//   {"op": ..., "shape": ..., "threads": N,
+//    "flops_per_s" | "bytes_per_s" | "items_per_s": ...,
+//    "time_ns": per-iteration real time}
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+class KernelReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      // "BM_Matmul/256" -> op "BM_Matmul", shape "256".
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      const std::string op = name.substr(0, slash);
+      const std::string shape =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      std::string rec = "{\"op\": \"" + JsonEscape(op) + "\", \"shape\": \"" +
+                        JsonEscape(shape) + "\"";
+      double threads = 0.0;
+      for (const auto& [key, counter] : run.counters) {
+        if (key == "threads") {
+          threads = counter.value;
+        } else {
+          rec += ", \"" + JsonEscape(key) +
+                 "\": " + std::to_string(counter.value);
+        }
+      }
+      rec += ", \"threads\": " + std::to_string(static_cast<long>(threads));
+      rec += ", \"time_ns\": " + std::to_string(run.GetAdjustedRealTime());
+      rec += "}";
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out("BENCH_kernels.json");
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << "  " << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
+
+ private:
+  std::vector<std::string> records_;
+};
 
 }  // namespace
 }  // namespace apt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  apt::KernelReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "runtime/parallel_for.h"
 
 namespace apt {
 
@@ -107,10 +108,11 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
   APT_CHECK_EQ(out.cols(), col_hi - col_lo);
   const LoadVolume vol = CountGather(dev, nodes, col_lo, col_hi);
   const std::int64_t width = col_hi - col_lo;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const float* src = features_->row(nodes[i]) + col_lo;
-    std::copy_n(src, width, out.row(static_cast<std::int64_t>(i)));
-  }
+  // The row copies are independent; this is the memory-bound half of T_load.
+  ParallelFor(0, static_cast<std::int64_t>(nodes.size()), [&](std::int64_t i) {
+    const float* src = features_->row(nodes[static_cast<std::size_t>(i)]) + col_lo;
+    std::copy_n(src, width, out.row(i));
+  }, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, width)));
   ctx_->Advance(dev, LoadSeconds(dev, vol), Phase::kLoad);
   ctx_->CountTraffic(TrafficClass::kLocalCpuGpu,
                      vol.bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)]);

@@ -1,58 +1,142 @@
-// Blocking data-parallel loop over an index range, OpenMP-static style.
+// Blocking data-parallel loops over an index range, built on the fork-join
+// pool (see thread_pool.h).
 //
-// The range [begin, end) is split into one contiguous chunk per worker.
-// Exceptions thrown by the body are captured and rethrown on the caller
-// thread (first one wins). Falls back to a serial loop for tiny ranges so
-// kernels stay cheap on small inputs.
+// ParallelFor / ParallelForChunks split [begin, end) into one contiguous
+// chunk per lane, OpenMP-static style. Chunk boundaries depend only on the
+// range and lane count — never on which thread claims which chunk — so any
+// kernel whose writes are disjoint per index stays deterministic.
+//
+// ParallelForDynamic / ParallelForChunksDynamic split the range into many
+// grain-sized chunks claimed greedily from the shared cursor: lanes that
+// draw cheap chunks keep pulling more, which load-balances skewed per-index
+// work (SpMM rows under power-law degree distributions).
+//
+// All variants: the body runs inline on the calling thread for ranges at or
+// below `grain` (no pool traffic); exceptions thrown by the body are
+// rethrown on the calling thread (first one wins); nested calls run
+// serially on the calling lane.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
+#include <algorithm>
 #include <cstdint>
-#include <exception>
-#include <latch>
+#include <limits>
 
 #include "runtime/thread_pool.h"
 
 namespace apt {
 
-/// Calls body(i) for every i in [begin, end). `grain` is the minimum chunk
-/// size below which the loop runs serially on the calling thread.
+namespace detail {
+
+inline std::int64_t& MaxParallelismSlot() {
+  thread_local std::int64_t limit = std::numeric_limits<std::int64_t>::max();
+  return limit;
+}
+
+inline std::int64_t Lanes(const ThreadPool& pool) {
+  return std::max<std::int64_t>(
+      1, std::min(pool.ParallelismDegree(), MaxParallelismSlot()));
+}
+
+// Bridges a typed range body into the pool's type-erased ChunkFn without
+// allocating: the context points at the caller's stack.
+template <typename RangeBody>
+void ForkJoinRanges(std::int64_t begin, std::int64_t end,
+                    std::int64_t chunk_size, std::int64_t num_chunks,
+                    const RangeBody& body) {
+  struct Ctx {
+    const RangeBody* body;
+    std::int64_t begin;
+    std::int64_t end;
+    std::int64_t chunk_size;
+  } ctx{&body, begin, end, chunk_size};
+  ThreadPool::Global().ForkJoin(
+      num_chunks,
+      [](void* p, std::int64_t c) {
+        auto* cx = static_cast<Ctx*>(p);
+        const std::int64_t lo = cx->begin + c * cx->chunk_size;
+        const std::int64_t hi = std::min(cx->end, lo + cx->chunk_size);
+        (*cx->body)(lo, hi);
+      },
+      &ctx);
+}
+
+}  // namespace detail
+
+/// Caps the fork-join width seen by ParallelFor* on this thread while alive
+/// (1 = force serial). Lets benchmarks measure thread scaling in-process
+/// without rebuilding the global pool.
+class ScopedParallelismLimit {
+ public:
+  explicit ScopedParallelismLimit(std::int64_t limit)
+      : prev_(detail::MaxParallelismSlot()) {
+    detail::MaxParallelismSlot() = std::max<std::int64_t>(1, limit);
+  }
+  ~ScopedParallelismLimit() { detail::MaxParallelismSlot() = prev_; }
+  ScopedParallelismLimit(const ScopedParallelismLimit&) = delete;
+  ScopedParallelismLimit& operator=(const ScopedParallelismLimit&) = delete;
+
+ private:
+  std::int64_t prev_;
+};
+
+/// Calls body(lo, hi) over disjoint subranges covering [begin, end), one
+/// contiguous chunk per lane. `grain` is the minimum chunk size below which
+/// the loop runs serially on the calling thread.
+template <typename RangeBody>
+void ParallelForChunks(std::int64_t begin, std::int64_t end,
+                       const RangeBody& body, std::int64_t grain = 1024) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t lanes = detail::Lanes(ThreadPool::Global());
+  if (n <= grain || lanes <= 1 || ThreadPool::InParallelRegion()) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t chunks =
+      std::min(lanes, (n + grain - 1) / std::max<std::int64_t>(1, grain));
+  const std::int64_t chunk_size = (n + chunks - 1) / chunks;
+  detail::ForkJoinRanges(begin, end, chunk_size, chunks, body);
+}
+
+/// Like ParallelForChunks, but splits into grain-sized chunks claimed
+/// greedily from the shared cursor (work-stealing-style load balance).
+template <typename RangeBody>
+void ParallelForChunksDynamic(std::int64_t begin, std::int64_t end,
+                              const RangeBody& body, std::int64_t grain = 256) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t lanes = detail::Lanes(ThreadPool::Global());
+  if (n <= grain || lanes <= 1 || ThreadPool::InParallelRegion()) {
+    body(begin, end);
+    return;
+  }
+  detail::ForkJoinRanges(begin, end, grain, (n + grain - 1) / grain, body);
+}
+
+/// Calls body(i) for every i in [begin, end), statically chunked.
 template <typename Body>
 void ParallelFor(std::int64_t begin, std::int64_t end, const Body& body,
                  std::int64_t grain = 1024) {
-  const std::int64_t n = end - begin;
-  if (n <= 0) return;
-  ThreadPool& pool = ThreadPool::Global();
-  const std::int64_t max_chunks =
-      static_cast<std::int64_t>(pool.NumThreads());
-  if (n <= grain || max_chunks <= 1) {
-    for (std::int64_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-  const std::int64_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
-  const std::int64_t chunk_size = (n + chunks - 1) / chunks;
-  std::latch done(chunks);
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::int64_t lo = begin + c * chunk_size;
-    const std::int64_t hi = std::min(end, lo + chunk_size);
-    pool.Submit([&, lo, hi] {
-      try {
-        if (!failed.load(std::memory_order_relaxed)) {
-          for (std::int64_t i = lo; i < hi; ++i) body(i);
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) error = std::current_exception();
-      }
-      done.count_down();
-    });
-  }
-  done.wait();
-  if (failed.load()) std::rethrow_exception(error);
+  ParallelForChunks(
+      begin, end,
+      [&body](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+/// Calls body(i) for every i in [begin, end), dynamically chunked: use when
+/// per-index cost is skewed.
+template <typename Body>
+void ParallelForDynamic(std::int64_t begin, std::int64_t end, const Body& body,
+                        std::int64_t grain = 256) {
+  ParallelForChunksDynamic(
+      begin, end,
+      [&body](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
 }
 
 }  // namespace apt

@@ -1,14 +1,22 @@
-// A small fixed-size thread pool with a shared FIFO task queue.
+// A persistent fork-join thread pool.
 //
-// Used by parallel_for for data-parallel loops (tensor kernels, per-device
-// compute in the simulator). One global pool is shared process-wide to avoid
-// oversubscription, per the structured-parallelism guidance of the C++ Core
-// Guidelines (CP.*): tasks are plain callables, joined via futures/latches,
-// and no detached threads exist.
+// Two entry points:
+//  - ForkJoin(): the data-parallel fast path behind ParallelFor. The forking
+//    thread publishes one shared (function pointer, context) pair plus an
+//    atomic chunk cursor; parked workers wake, claim chunk indices with
+//    fetch_add, and call the body directly. Steady-state dispatch performs
+//    no heap allocation and takes no queue mutex per chunk.
+//  - Submit(): a plain FIFO task queue for irregular background work.
+//
+// One global pool is shared process-wide to avoid oversubscription, per the
+// structured-parallelism guidance of the C++ Core Guidelines (CP.*): regions
+// are joined before returning and no detached threads exist.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -19,8 +27,16 @@ namespace apt {
 
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
+  /// Chunked kernel: fn(ctx, c) is called once for each c in [0, num_chunks).
+  using ChunkFn = void (*)(void* ctx, std::int64_t chunk);
+
+  /// Creates `num_threads` workers. 0 means: the APT_NUM_THREADS environment
+  /// variable if set to a positive integer, else hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers. Any still-queued Submit() tasks run before exit;
+  /// Submit() itself must not race with destruction (asserted when the race
+  /// is observable).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,16 +47,39 @@ class ThreadPool {
 
   std::size_t NumThreads() const { return workers_.size(); }
 
+  /// Width of a fork-join region: every worker plus the forking thread.
+  std::int64_t ParallelismDegree() const {
+    return static_cast<std::int64_t>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(ctx, c) for every c in [0, num_chunks), cooperatively on the
+  /// calling thread and any idle workers, and returns once all chunks are
+  /// done. Exceptions thrown by fn are rethrown here (first one wins; later
+  /// chunks are skipped). Nested calls — from inside a chunk or from a pool
+  /// worker — run the whole chunk range serially on the calling thread.
+  void ForkJoin(std::int64_t num_chunks, ChunkFn fn, void* ctx);
+
+  /// True on pool worker threads and inside a ForkJoin chunk on any thread.
+  /// ParallelFor uses this to serialize nested parallelism.
+  static bool InParallelRegion();
+
   /// Process-wide shared pool.
   static ThreadPool& Global();
 
  private:
+  struct Job;
+
   void WorkerLoop();
+  static void RunChunks(Job& job);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::mutex mutex_;  ///< guards tasks_, job_, epoch_, stopping_
   std::condition_variable cv_;
+  Job* job_ = nullptr;       ///< currently published fork-join region
+  std::uint64_t epoch_ = 0;  ///< bumped per region so each worker joins once
+  std::atomic<std::int64_t> active_{0};  ///< workers currently inside job_
+  std::mutex fork_mutex_;                ///< serializes top-level regions
   bool stopping_ = false;
 };
 

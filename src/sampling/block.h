@@ -24,10 +24,16 @@ struct Block {
   std::vector<std::int64_t> indptr;  ///< size num_dst + 1
   std::vector<std::int64_t> col;     ///< local src index per edge
 
+  /// Memoized source-major transpose of the CSR: backward kernels request it
+  /// (at most one build per structure) to turn gradient scatters into
+  /// parallel per-source gathers. Copies of a Block share the built
+  /// transpose, so don't mutate indptr/col after the first backward pass.
+  CsrTransposeCache transpose_cache;
+
   std::int64_t num_src() const { return static_cast<std::int64_t>(src_nodes.size()); }
   std::int64_t num_edges() const { return static_cast<std::int64_t>(col.size()); }
 
-  CsrView csr() const { return {indptr, col}; }
+  CsrView csr() const { return {indptr, col, &transpose_cache}; }
 
   std::span<const NodeId> dst_nodes() const {
     return {src_nodes.data(), static_cast<std::size_t>(num_dst)};

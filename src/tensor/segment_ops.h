@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,10 +20,46 @@
 
 namespace apt {
 
+struct CsrView;
+
+/// Transposed (source-major) copy of a bipartite CSR: edges grouped by
+/// *source* row instead of destination. `dst[t]` is the destination of
+/// transposed edge t and `eid[t]` its index in the original edge order, so
+/// per-edge payloads (weights, scores) stay addressable. Within one source,
+/// edges keep ascending destination order — the same accumulation order the
+/// serial destination-major backward produced, so results are bit-identical.
+struct CsrTranspose {
+  std::int64_t num_src = 0;
+  std::vector<std::int64_t> indptr;  ///< size num_src + 1
+  std::vector<std::int64_t> dst;     ///< destination row per transposed edge
+  std::vector<std::int64_t> eid;     ///< original edge id per transposed edge
+};
+
+/// Counting-sort transpose of `csr`; `num_src` must exceed every col entry.
+CsrTranspose BuildCsrTranspose(const CsrView& csr, std::int64_t num_src);
+
+/// Lazily-built, memoized transpose. A Block owns one of these so the
+/// backward pass transposes each sampled CSR at most once per structure and
+/// reuses it every epoch. Get() must not race with itself for the same cache
+/// (in practice it runs on the single orchestrating thread of a training
+/// step, before any parallel region starts); the returned reference lives as
+/// long as the cache does. Copies share the built transpose — do not mutate
+/// the underlying CSR after the first Get().
+class CsrTransposeCache {
+ public:
+  const CsrTranspose& Get(const CsrView& csr, std::int64_t num_src) const;
+
+ private:
+  mutable std::shared_ptr<const CsrTranspose> cached_;
+};
+
 /// View of one bipartite adjacency (no ownership).
 struct CsrView {
   std::span<const std::int64_t> indptr;  ///< size num_dst + 1
   std::span<const std::int64_t> col;     ///< size num_edges, local src ids
+  /// Optional transpose cache (Block::csr() fills this in). Backward kernels
+  /// use it to run scatter-style gradients as parallel source-major gathers.
+  const CsrTransposeCache* tcache = nullptr;
   std::int64_t num_dst() const { return static_cast<std::int64_t>(indptr.size()) - 1; }
   std::int64_t num_edges() const { return static_cast<std::int64_t>(col.size()); }
 };

@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <latch>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "core/error.h"
 #include "runtime/parallel_for.h"
@@ -67,6 +71,96 @@ TEST(ParallelForTest, LargeGrainRunsSerial) {
   ParallelFor(0, 64, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
               1 << 20);
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  // An inner ParallelFor issued from inside a parallel region must not fork
+  // again (the fork-join pool has one shared job slot); it degrades to a
+  // serial loop on the issuing lane and still covers its range.
+  std::vector<std::atomic<int>> hits(64 * 64);
+  ParallelFor(0, 64, [&](std::int64_t i) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    ParallelFor(0, 64, [&](std::int64_t j) {
+      hits[static_cast<std::size_t>(i * 64 + j)].fetch_add(
+          1, std::memory_order_relaxed);
+    }, /*grain=*/1);
+  }, /*grain=*/1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ParallelForDynamicTest, CoversSkewedRange) {
+  // Power-law style per-index cost: index 0 does ~n work, the tail is cheap.
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<std::int64_t> weighted{0};
+  ParallelForDynamic(0, kN, [&](std::int64_t i) {
+    const std::int64_t reps = (i == 0) ? kN : 1;
+    std::int64_t acc = 0;
+    for (std::int64_t r = 0; r < reps; ++r) acc += r ^ i;
+    weighted.fetch_add(acc, std::memory_order_relaxed);
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  }, /*grain=*/32);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamicTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelForDynamic(0, 10000,
+                         [&](std::int64_t i) {
+                           if (i == 1234) throw Error("dyn boom");
+                         },
+                         /*grain=*/8),
+      Error);
+  // The pool must still be usable after an exception unwound a region.
+  std::atomic<std::int64_t> sum{0};
+  ParallelForDynamic(0, 100, [&](std::int64_t i) { sum.fetch_add(i); }, 4);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelForTest, ScopedParallelismLimitForcesSerial) {
+  const std::thread::id caller = std::this_thread::get_id();
+  ScopedParallelismLimit serial(1);
+  ParallelFor(0, 512, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  }, /*grain=*/1);
+}
+
+TEST(ParallelForTest, ManySequentialRegions) {
+  // Stress the fork/join handshake: back-to-back regions reuse the parked
+  // workers; every region must see a fully quiesced pool.
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ParallelFor(0, 64, [&](std::int64_t i) { total.fetch_add(i); }, 4);
+  }
+  EXPECT_EQ(total.load(), 200 * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, HonorsEnvThreadOverride) {
+  ASSERT_EQ(setenv("APT_NUM_THREADS", "3", 1), 0);
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.NumThreads(), 3u);
+    EXPECT_EQ(pool.ParallelismDegree(), 4u);  // workers + calling thread
+  }
+  ASSERT_EQ(unsetenv("APT_NUM_THREADS"), 0);
+  {
+    ThreadPool pool(2);  // explicit count beats the (absent) env var
+    EXPECT_EQ(pool.NumThreads(), 2u);
+  }
+}
+
+TEST(ThreadPoolTest, ForkJoinDispatchesChunks) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> seen(17);
+  struct Ctx {
+    std::vector<std::atomic<int>>* seen;
+  } ctx{&seen};
+  pool.ForkJoin(17, [](void* c, std::int64_t chunk) {
+    auto* s = static_cast<Ctx*>(c)->seen;
+    (*s)[static_cast<std::size_t>(chunk)].fetch_add(1);
+  }, &ctx);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
 
 }  // namespace

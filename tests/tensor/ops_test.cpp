@@ -94,6 +94,101 @@ TEST(MatmulTest, ShapeMismatchThrows) {
   EXPECT_THROW(Matmul(a, b, c), Error);
 }
 
+// Naive triple-loop references for the blocked kernels. Kept deliberately
+// dumb: the production kernels tile and re-associate, so we compare with a
+// tolerance scaled by the reduction depth.
+void RefMatmul(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+               float beta) {
+  for (std::int64_t i = 0; i < c.rows(); ++i) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < a.cols(); ++p) acc += double(a(i, p)) * b(p, j);
+      c(i, j) = alpha * static_cast<float>(acc) + (beta == 0.0f ? 0.0f : beta * c(i, j));
+    }
+  }
+}
+
+void RefMatmulTN(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+                 float beta) {
+  for (std::int64_t i = 0; i < c.rows(); ++i) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < a.rows(); ++p) acc += double(a(p, i)) * b(p, j);
+      c(i, j) = alpha * static_cast<float>(acc) + (beta == 0.0f ? 0.0f : beta * c(i, j));
+    }
+  }
+}
+
+void RefMatmulNT(const Tensor& a, const Tensor& b, Tensor& c, float alpha,
+                 float beta) {
+  for (std::int64_t i = 0; i < c.rows(); ++i) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < a.cols(); ++p) acc += double(a(i, p)) * b(j, p);
+      c(i, j) = alpha * static_cast<float>(acc) + (beta == 0.0f ? 0.0f : beta * c(i, j));
+    }
+  }
+}
+
+TEST(MatmulTest, RandomizedParityOddShapes) {
+  // Shapes chosen to hit every edge path of the register-blocked kernels:
+  // partial m-tiles (m % 4), partial n-tiles (n % 8), partial k-panels
+  // (k % 256), and degenerate 1-row/1-col cases.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},  {2, 3, 5},   {3, 9, 7},   {5, 17, 33}, {7, 63, 9},
+      {9, 65, 17}, {33, 7, 65}, {63, 33, 63}, {65, 8, 4},  {4, 257, 8},
+  };
+  const float ab[][2] = {{1.0f, 0.0f}, {2.0f, 0.0f}, {1.0f, 1.0f}, {0.5f, -1.5f}};
+  std::uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], k = s[1], n = s[2];
+    for (const auto& co : ab) {
+      const float alpha = co[0], beta = co[1];
+      const float tol = 1e-4f * static_cast<float>(k);
+      {
+        const Tensor a = RandTensor(m, k, seed++);
+        const Tensor b = RandTensor(k, n, seed++);
+        Tensor c = RandTensor(m, n, seed++);
+        Tensor ref = c;
+        RefMatmul(a, b, ref, alpha, beta);
+        Matmul(a, b, c, alpha, beta);
+        EXPECT_LT(MaxAbsDiff(ref, c), tol)
+            << "Matmul m=" << m << " k=" << k << " n=" << n << " alpha=" << alpha
+            << " beta=" << beta;
+      }
+      {
+        const Tensor a = RandTensor(k, m, seed++);  // stored transposed
+        const Tensor b = RandTensor(k, n, seed++);
+        Tensor c = RandTensor(m, n, seed++);
+        Tensor ref = c;
+        RefMatmulTN(a, b, ref, alpha, beta);
+        MatmulTN(a, b, c, alpha, beta);
+        EXPECT_LT(MaxAbsDiff(ref, c), tol)
+            << "MatmulTN m=" << m << " k=" << k << " n=" << n;
+      }
+      {
+        const Tensor a = RandTensor(m, k, seed++);
+        const Tensor b = RandTensor(n, k, seed++);  // stored transposed
+        Tensor c = RandTensor(m, n, seed++);
+        Tensor ref = c;
+        RefMatmulNT(a, b, ref, alpha, beta);
+        MatmulNT(a, b, c, alpha, beta);
+        EXPECT_LT(MaxAbsDiff(ref, c), tol)
+            << "MatmulNT m=" << m << " k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(MatmulTest, EmptyOutputsAreNoOps) {
+  Tensor a(0, 3), b(3, 2), c(0, 2);
+  Matmul(a, b, c);  // must not touch memory or divide by zero
+  Tensor a2(2, 0), b2(0, 3), c2(2, 3);
+  c2.Fill(7.0f);
+  Matmul(a2, b2, c2, 1.0f, 0.0f);  // k == 0: beta pass still applies
+  EXPECT_FLOAT_EQ(c2(1, 2), 0.0f);
+}
+
 TEST(ElementwiseTest, AxpyScaleAdd) {
   Tensor x(1, 4, {1, 2, 3, 4});
   Tensor y(1, 4, {10, 20, 30, 40});
