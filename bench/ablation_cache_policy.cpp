@@ -10,10 +10,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("ablation_cache_policy", &argc, argv);
 
   std::printf("=== Ablation: strategy-aware vs global-hot cache policies ===\n");
   std::printf("%-24s | %16s | %16s\n", "config", "paper rule (ms)", "global-hot (ms)");
@@ -42,5 +43,5 @@ int main() {
                   (ds->name + " " + ToString(s)).c_str(), own_load, global_load);
     }
   }
-  return 0;
+  return BenchFinish();
 }

@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("ablation_hybrid", &argc, argv);
 
   std::printf("=== Ablation: hybrid (inter-machine GDP + intra-machine SNP) ===\n");
   std::printf("%-22s | %10s | %10s | %10s | %10s\n", "config", "GDP(ms)", "SNP(ms)",
@@ -45,5 +46,5 @@ int main() {
                   run(Strategy::kDNP, false), run(Strategy::kSNP, true));
     }
   }
-  return 0;
+  return BenchFinish();
 }

@@ -8,10 +8,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("ablation_nvlink", &argc, argv);
 
   std::printf("=== Ablation: NVLink peer-GPU feature reads (GraphSAGE, 8 GPUs) ===\n");
   std::printf("%-24s | %18s | %18s\n", "config", "PCIe-only load(ms)",
@@ -34,5 +35,5 @@ int main() {
                   (ds->name + " " + ToString(s)).c_str(), loads[0], loads[1]);
     }
   }
-  return 0;
+  return BenchFinish();
 }

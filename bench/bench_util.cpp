@@ -1,8 +1,28 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "core/logging.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/thread_pool.h"
+
+// Build metadata injected by bench/CMakeLists.txt; the fallbacks keep
+// bench_util compilable standalone.
+#ifndef APT_GIT_SHA
+#define APT_GIT_SHA "unknown"
+#endif
+#ifndef APT_BUILD_TYPE
+#define APT_BUILD_TYPE "unknown"
+#endif
+#ifndef APT_SANITIZE_FLAG
+#define APT_SANITIZE_FLAG ""
+#endif
 
 namespace apt::bench {
 
@@ -12,7 +32,143 @@ constexpr double kBenchScale = 0.25;
 
 Dataset MakeCached(DatasetParams params) { return MakeDataset(params); }
 
+/// State of the current bench run (one per process).
+struct BenchRun {
+  bool initialized = false;
+  std::string name = "bench";
+  std::string trace_out;
+  std::string metrics_out;
+  std::string records_out;
+  std::vector<std::string> records;
+};
+
+BenchRun& Run() {
+  static BenchRun run;
+  return run;
+}
+
+/// If `arg` is `<prefix><value>`, stores value and returns true.
+bool TakeFlag(const char* arg, const char* prefix, std::string* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *out = arg + n;
+  return true;
+}
+
+void WriteEpochJson(obs::JsonWriter& w, const EpochStats& e) {
+  w.KV("sim_seconds", e.sim_seconds);
+  w.KV("wall_seconds", e.wall_seconds);
+  w.KV("sample_seconds", e.sample_seconds);
+  w.KV("load_seconds", e.load_seconds);
+  w.KV("train_seconds", e.train_seconds);
+  w.KV("comm_sample_seconds", e.comm_sample_seconds);
+  w.KV("comm_train_seconds", e.comm_train_seconds);
+  w.KV("loss", e.loss);
+}
+
+/// One record per case: the full per-strategy breakdown plus the planner's
+/// estimates, keyed the way downstream tooling plots the figures.
+void RecordCase(const CaseResult& result) {
+  if (!Run().initialized) return;
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.KV("case", result.label);
+  w.KV("selected", ToString(result.selected));
+  w.KV("dryrun_wall_seconds", result.dryrun_wall_seconds);
+  w.Key("strategies");
+  w.BeginObject();
+  for (Strategy s : kAllStrategies) {
+    const StrategyResult& r = result.of(s);
+    w.Key(ToString(s));
+    w.BeginObject();
+    WriteEpochJson(w, r.epoch);
+    w.KV("oom", r.oom);
+    w.KV("estimate_comparable_seconds", r.estimate.Comparable());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  AddRecord(os.str());
+}
+
 }  // namespace
+
+void BenchInit(const std::string& name, int* argc, char** argv) {
+  BenchRun& run = Run();
+  run.initialized = true;
+  run.name = name;
+  run.records_out = "BENCH_" + name + ".json";
+  if (argc != nullptr && argv != nullptr) {
+    int w = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (TakeFlag(argv[i], "--trace-out=", &run.trace_out) ||
+          TakeFlag(argv[i], "--metrics-out=", &run.metrics_out) ||
+          TakeFlag(argv[i], "--records-out=", &run.records_out)) {
+        continue;
+      }
+      argv[w++] = argv[i];
+    }
+    *argc = w;
+  }
+  if (!run.trace_out.empty()) obs::SetTracingEnabled(true);
+}
+
+void AddRecord(std::string json_object) {
+  Run().records.push_back(std::move(json_object));
+}
+
+int BenchFinish() {
+  BenchRun& run = Run();
+  int rc = 0;
+  {
+    std::ofstream os(run.records_out);
+    obs::JsonWriter w(os);
+    w.BeginObject();
+    w.Key("meta");
+    w.BeginObject();
+    w.KV("bench", run.name);
+    w.KV("git_sha", APT_GIT_SHA);
+    w.KV("build_type", APT_BUILD_TYPE);
+    w.KV("sanitizer", APT_SANITIZE_FLAG);
+    w.KV("compiler", __VERSION__);
+    w.KV("threads",
+         static_cast<std::int64_t>(ThreadPool::Global().ParallelismDegree()));
+    w.EndObject();
+    w.Key("records");
+    w.BeginArray();
+    for (const std::string& r : run.records) w.RawValue(r);
+    w.EndArray();
+    w.EndObject();
+    os << "\n";
+    if (!os) {
+      std::fprintf(stderr, "failed to write %s\n", run.records_out.c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote %s (%zu records)\n", run.records_out.c_str(),
+                  run.records.size());
+    }
+  }
+  if (!run.metrics_out.empty()) {
+    if (obs::Metrics::Global().WriteJsonFile(run.metrics_out)) {
+      std::printf("wrote %s\n", run.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", run.metrics_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!run.trace_out.empty()) {
+    if (obs::ExportChromeTrace(run.trace_out)) {
+      std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+                  run.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", run.trace_out.c_str());
+      rc = 1;
+    }
+  }
+  run.records.clear();
+  return rc;
+}
 
 const Dataset& PsLike() {
   static const Dataset ds = MakeCached(PsLikeParams(kBenchScale));
@@ -112,6 +268,8 @@ CaseResult RunCase(const CaseConfig& config) {
       sum.sample_seconds += st.sample_seconds;
       sum.load_seconds += st.load_seconds;
       sum.train_seconds += st.train_seconds;
+      sum.comm_sample_seconds += st.comm_sample_seconds;
+      sum.comm_train_seconds += st.comm_train_seconds;
     }
     const double inv = 1.0 / config.epochs;
     sr.epoch.loss = sum.loss * inv;
@@ -120,6 +278,8 @@ CaseResult RunCase(const CaseConfig& config) {
     sr.epoch.sample_seconds = sum.sample_seconds * inv;
     sr.epoch.load_seconds = sum.load_seconds * inv;
     sr.epoch.train_seconds = sum.train_seconds * inv;
+    sr.epoch.comm_sample_seconds = sum.comm_sample_seconds * inv;
+    sr.epoch.comm_train_seconds = sum.comm_train_seconds * inv;
     sr.oom = trainer.sim().AnyOom();
   }
   return result;
@@ -147,6 +307,7 @@ void PrintCaseRow(const CaseResult& result) {
     }
   }
   std::printf("\n");
+  RecordCase(result);
 }
 
 }  // namespace apt::bench

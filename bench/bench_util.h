@@ -61,9 +61,36 @@ CaseResult RunCase(const CaseConfig& config);
 
 /// Prints the header / one row of the standard figure table. Columns per
 /// strategy: total epoch seconds with (sample/load/train) breakdown; the
-/// APT selection is starred.
+/// APT selection is starred. PrintCaseRow also appends the case as a
+/// machine-readable record (see BenchFinish).
 void PrintTableHeader(const std::string& sweep_name);
 void PrintCaseRow(const CaseResult& result);
+
+// --- shared run harness: obs wiring + machine-readable output -------------
+//
+// Every bench main brackets its work with BenchInit/BenchFinish:
+//
+//   int main(int argc, char** argv) {
+//     bench::BenchInit("fig01_no_winner", &argc, argv);
+//     ... PrintCaseRow(RunCase(cfg)) ...
+//     return bench::BenchFinish();
+//   }
+
+/// Parses and strips the shared flags from argv (unrecognized arguments are
+/// left in place, so google-benchmark flags pass through):
+///   --trace-out=<file>    enable apt::obs tracing; export a Chrome/Perfetto
+///                         trace on finish
+///   --metrics-out=<file>  dump the metrics registry as JSON on finish
+///   --records-out=<file>  records file (default BENCH_<name>.json)
+void BenchInit(const std::string& name, int* argc = nullptr, char** argv = nullptr);
+
+/// Appends one pre-serialized JSON object to the run's records.
+void AddRecord(std::string json_object);
+
+/// Writes the records file — {"meta": {git sha, build flags, threads, ...},
+/// "records": [...]} — plus the trace / metrics files when requested.
+/// Returns 0 (the bench's exit code) or 1 on an IO error.
+int BenchFinish();
 
 /// The three paper-graph stand-ins at bench scale (cached per process).
 const Dataset& PsLike();

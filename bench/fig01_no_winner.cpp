@@ -12,10 +12,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig01_no_winner", &argc, argv);
 
   std::printf("=== Figure 1a: PS-like, epoch time vs INPUT dimension (d'=32) ===\n");
   PrintTableHeader("input dim");
@@ -48,5 +49,5 @@ int main() {
     cfg.opts.cache_bytes_per_device = DefaultCacheBytes(FsLike());
     PrintCaseRow(RunCase(cfg));
   }
-  return 0;
+  return BenchFinish();
 }

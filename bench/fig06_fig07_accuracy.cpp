@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig06_fig07_accuracy", &argc, argv);
 
   const Dataset& ds = PsLike();
   const ClusterSpec cluster = SingleMachineCluster(8);
@@ -85,5 +86,5 @@ int main() {
   std::printf(
       "(the dry-run samples one epoch per seed-assignment family and skips feature "
       "loading, embedding shuffles, and all model computation)\n");
-  return 0;
+  return BenchFinish();
 }

@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig08a_hidden_dim", &argc, argv);
 
   std::printf("=== Figure 8a: epoch time vs hidden dimension (GraphSAGE, 8 GPUs) ===\n");
   for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
@@ -30,5 +31,5 @@ int main() {
       PrintCaseRow(RunCase(cfg));
     }
   }
-  return 0;
+  return BenchFinish();
 }

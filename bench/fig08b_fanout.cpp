@@ -10,10 +10,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig08b_fanout", &argc, argv);
 
   const std::vector<std::vector<int>> fanouts{
       {10, 5}, {15, 10}, {10, 10, 10}, {20, 15, 10}};
@@ -41,5 +42,5 @@ int main() {
       PrintCaseRow(RunCase(cfg));
     }
   }
-  return 0;
+  return BenchFinish();
 }

@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig08c_cache_size", &argc, argv);
 
   std::printf("=== Figure 8c: epoch time vs GPU cache size (GraphSAGE, 8 GPUs) ===\n");
   const std::pair<const char*, double> fractions[] = {
@@ -34,5 +35,5 @@ int main() {
       PrintCaseRow(RunCase(cfg));
     }
   }
-  return 0;
+  return BenchFinish();
 }

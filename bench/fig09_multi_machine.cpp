@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig09_multi_machine", &argc, argv);
 
   std::printf(
       "=== Figure 9: epoch time vs hidden dim (GraphSAGE, 4 machines x 4 GPUs) ===\n");
@@ -31,5 +32,5 @@ int main() {
       PrintCaseRow(RunCase(cfg));
     }
   }
-  return 0;
+  return BenchFinish();
 }

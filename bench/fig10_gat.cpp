@@ -10,10 +10,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig10_gat", &argc, argv);
 
   std::printf("=== Figure 10: epoch time for GAT (8 GPUs, 4 heads) ===\n");
   for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
@@ -48,5 +49,5 @@ int main() {
     cfg.opts.cache_bytes_per_device = DefaultCacheBytes(FsLike());
     PrintCaseRow(RunCase(cfg));
   }
-  return 0;
+  return BenchFinish();
 }

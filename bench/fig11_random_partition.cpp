@@ -9,10 +9,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig11_random_partition", &argc, argv);
 
   std::printf("=== Figure 11: multilevel vs random partitioning (GraphSAGE, 8 GPUs) ===\n");
   for (const Dataset* ds : {&PsLike(), &FsLike(), &ImLike()}) {
@@ -30,5 +31,5 @@ int main() {
       PrintCaseRow(RunCase(cfg));
     }
   }
-  return 0;
+  return BenchFinish();
 }

@@ -11,10 +11,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("fig12_cost_model", &argc, argv);
 
   const Dataset& ds = FsLike();
   std::printf("=== Figure 12: estimated vs actual epoch time (GraphSAGE on %s) ===\n",
@@ -49,5 +50,5 @@ int main() {
     }
   }
   std::printf("\nmax estimation error: %.1f%% (paper reports 5.5%%)\n", worst_err);
-  return 0;
+  return BenchFinish();
 }

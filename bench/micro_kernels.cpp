@@ -2,17 +2,18 @@
 // SpMM/SDDMM/segment-softmax kernels, and the neighbor sampler.
 //
 // Besides the human-readable console table, the run writes one JSON record
-// per benchmark to BENCH_kernels.json (op, shape, threads, flops_per_s /
-// bytes_per_s) so the perf trajectory is machine-trackable across PRs.
-// Thread-scaling variants pin the fork-join width in-process with
-// ScopedParallelismLimit; their names carry the lane count as the last /N.
+// per benchmark to BENCH_micro_kernels.json (op, shape, threads, flops_per_s
+// / bytes_per_s, plus the shared run metadata — see bench_gbench.h) so the
+// perf trajectory is machine-trackable across PRs. Thread-scaling variants
+// pin the fork-join width in-process with ScopedParallelismLimit; their
+// names carry the lane count as the last /N.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_gbench.h"
 #include "core/random.h"
 #include "graph/generators.h"
 #include "runtime/parallel_for.h"
@@ -234,76 +235,9 @@ void BM_NeighborSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborSampling)->Arg(128)->Arg(1024);
 
-// ---------------------------------------------------------------------------
-// BENCH_kernels.json emission: a console reporter that also accumulates one
-// flat JSON record per run. Schema per record:
-//   {"op": ..., "shape": ..., "threads": N,
-//    "flops_per_s" | "bytes_per_s" | "items_per_s": ...,
-//    "time_ns": per-iteration real time}
-// ---------------------------------------------------------------------------
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') out.push_back('\\');
-    out.push_back(ch);
-  }
-  return out;
-}
-
-class KernelReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& reports) override {
-    benchmark::ConsoleReporter::ReportRuns(reports);
-    for (const Run& run : reports) {
-      if (run.error_occurred) continue;
-      // "BM_Matmul/256" -> op "BM_Matmul", shape "256".
-      const std::string name = run.benchmark_name();
-      const std::size_t slash = name.find('/');
-      const std::string op = name.substr(0, slash);
-      const std::string shape =
-          slash == std::string::npos ? "" : name.substr(slash + 1);
-      std::string rec = "{\"op\": \"" + JsonEscape(op) + "\", \"shape\": \"" +
-                        JsonEscape(shape) + "\"";
-      double threads = 0.0;
-      for (const auto& [key, counter] : run.counters) {
-        if (key == "threads") {
-          threads = counter.value;
-        } else {
-          rec += ", \"" + JsonEscape(key) +
-                 "\": " + std::to_string(counter.value);
-        }
-      }
-      rec += ", \"threads\": " + std::to_string(static_cast<long>(threads));
-      rec += ", \"time_ns\": " + std::to_string(run.GetAdjustedRealTime());
-      rec += "}";
-      records_.push_back(std::move(rec));
-    }
-  }
-
-  void Finalize() override {
-    benchmark::ConsoleReporter::Finalize();
-    std::ofstream out("BENCH_kernels.json");
-    out << "[\n";
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      out << "  " << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
-    }
-    out << "]\n";
-  }
-
- private:
-  std::vector<std::string> records_;
-};
-
 }  // namespace
 }  // namespace apt
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  apt::KernelReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-  return 0;
+  return apt::bench::RunGoogleBench("micro_kernels", argc, argv);
 }

@@ -1,9 +1,11 @@
 // google-benchmark microbenchmarks for the system layers: the multilevel
 // partitioner, the simulated collectives, and the dry-run planner itself
-// (the paper's "strategy selection must be fast" requirement).
+// (the paper's "strategy selection must be fast" requirement). Each run
+// also lands as a JSON record in BENCH_micro_system.json (see bench_gbench.h).
 #include <benchmark/benchmark.h>
 
 #include "apt/planner.h"
+#include "bench_gbench.h"
 #include "core/logging.h"
 #include "comm/collectives.h"
 #include "graph/generators.h"
@@ -91,4 +93,6 @@ BENCHMARK(BM_DryRunPlanner)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace apt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return apt::bench::RunGoogleBench("micro_system", argc, argv);
+}

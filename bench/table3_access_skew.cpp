@@ -13,10 +13,11 @@
 #include "sampling/minibatch.h"
 #include "sampling/neighbor_sampler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("table3_access_skew", &argc, argv);
 
   std::printf("=== Table 3: node access skew (fanout [10,10,10]) ===\n");
   std::printf("%-10s | %8s %8s %8s %8s %8s %8s\n", "rank", "<1%", "1~5%", "5~10%",
@@ -42,5 +43,5 @@ int main() {
   std::printf(
       "\npaper Table 3 reference: PS 50.1/34.8/8.8/4.7/1.7/0.0  "
       "FS 17.7/29.4/19.1/18.8/13.5/1.6  IM 31.1/39.0/19.7/9.3/0.9/0.0\n");
-  return 0;
+  return BenchFinish();
 }

@@ -15,10 +15,11 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
   using namespace apt::bench;
   SetLogLevel(LogLevel::kWarn);
+  BenchInit("table4_apt_speedup", &argc, argv);
 
   std::printf("=== Table 4: max speedup of APT vs always-single-strategy ===\n");
   std::printf("(grid: d' in {8,32,128,512} x {1 machine, 4 machines}, plus fanout\n");
@@ -78,5 +79,5 @@ int main() {
   std::printf(
       "\npaper Table 4 reference: PS 1.18/7.57/3.33/1.59  FS 2.13/4.25/2.35/1.36  "
       "IM 2.60/5.88/2.09/1.55\n");
-  return 0;
+  return BenchFinish();
 }

@@ -1,5 +1,7 @@
 #include "apt/adapter.h"
 
+#include "apt/cost_model.h"
+
 namespace apt {
 
 TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& model,
@@ -15,6 +17,9 @@ TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& mo
   setup.partition = partition;
   setup.cache = dryrun.caches[static_cast<std::size_t>(strategy)];
   setup.feature_placement = FeaturePlacementFromPartition(partition, cluster);
+  // Carry the dry-run prediction along so the trainer can publish
+  // predicted-vs-measured cost-model residual metrics.
+  setup.predicted_comparable_seconds = EstimateCost(strategy, dryrun).Comparable();
   return setup;
 }
 

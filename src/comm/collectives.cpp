@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace apt {
+
+namespace {
+
+struct CollectiveMetrics {
+  obs::Counter& calls;
+  obs::Counter& bytes;
+};
+
+CollectiveMetrics& AllToAllMetrics() {
+  static CollectiveMetrics m{obs::Metrics::Global().counter("comm.alltoall.calls"),
+                             obs::Metrics::Global().counter("comm.alltoall.bytes")};
+  return m;
+}
+
+CollectiveMetrics& RingMetrics(const char* label) {
+  static CollectiveMetrics allreduce{
+      obs::Metrics::Global().counter("comm.allreduce.calls"),
+      obs::Metrics::Global().counter("comm.allreduce.bytes")};
+  static CollectiveMetrics broadcast{
+      obs::Metrics::Global().counter("comm.allbroadcast.calls"),
+      obs::Metrics::Global().counter("comm.allbroadcast.bytes")};
+  return std::strcmp(label, "allreduce") == 0 ? allreduce : broadcast;
+}
+
+}  // namespace
 
 std::vector<std::vector<Tensor>> Communicator::AllToAllTensors(
     const std::vector<std::vector<Tensor>>& parts, Phase phase) {
@@ -35,7 +61,7 @@ void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase) {
   }
   for (std::size_t i = 0; i < c; ++i) *tensors[i] = sum;
   // Ring allreduce moves 2 * (C-1)/C * bytes per device.
-  ChargeRing(sum.bytes(), /*factor=*/2.0, phase);
+  ChargeRing(sum.bytes(), /*factor=*/2.0, phase, "allreduce");
 }
 
 std::vector<Tensor> Communicator::AllBroadcastTensors(const std::vector<Tensor>& inputs,
@@ -44,7 +70,7 @@ std::vector<Tensor> Communicator::AllBroadcastTensors(const std::vector<Tensor>&
   APT_CHECK_EQ(inputs.size(), c);
   std::int64_t total = 0;
   for (const auto& t : inputs) total += t.bytes();
-  ChargeRing(total, /*factor=*/1.0, phase);
+  ChargeRing(total, /*factor=*/1.0, phase, "allbroadcast");
   return inputs;
 }
 
@@ -92,28 +118,42 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
                                   Phase phase) {
   const ClusterSpec& cluster = ctx_->cluster();
   const auto c = static_cast<std::size_t>(num_devices());
+  std::int64_t total_bytes = 0;
   for (std::size_t i = 0; i < c; ++i) {
     // Egress of i and ingress of i are serialized on i's adapters; the
     // device is busy for the larger of the two.
     double egress = 0.0, ingress = 0.0;
+    std::int64_t egress_bytes = 0, ingress_bytes = 0;
     for (std::size_t j = 0; j < c; ++j) {
       if (i == j) continue;
       const auto di = static_cast<DeviceId>(i);
       const auto dj = static_cast<DeviceId>(j);
       if (bytes[i][j] > 0) {
         egress += cluster.LinkBetween(di, dj).TransferSeconds(bytes[i][j]);
+        egress_bytes += bytes[i][j];
         ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j]);
       }
       if (bytes[j][i] > 0) {
         ingress += cluster.LinkBetween(dj, di).TransferSeconds(bytes[j][i]);
+        ingress_bytes += bytes[j][i];
       }
     }
-    ctx_->Advance(static_cast<DeviceId>(i), std::max(egress, ingress), phase);
+    total_bytes += egress_bytes;
+    ctx_->AdvanceComm(static_cast<DeviceId>(i), std::max(egress, ingress), phase,
+                      "alltoall",
+                      {{"egress_bytes", static_cast<double>(egress_bytes), nullptr},
+                       {"ingress_bytes", static_cast<double>(ingress_bytes), nullptr},
+                       {"participants", static_cast<double>(c), nullptr}});
   }
+  AllToAllMetrics().calls.Increment();
+  AllToAllMetrics().bytes.Add(total_bytes);
   ctx_->BarrierAll(phase);
 }
 
-void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase phase) {
+void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase phase,
+                              const char* label) {
+  CollectiveMetrics& metrics = RingMetrics(label);
+  metrics.calls.Increment();
   const std::int32_t c = num_devices();
   if (c <= 1 || total_bytes <= 0) {
     ctx_->BarrierAll(phase);
@@ -124,11 +164,19 @@ void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase pha
                         static_cast<double>(total_bytes);
   const double t = static_cast<double>(c - 1) * bottleneck.latency_s +
                    volume / bottleneck.bandwidth_bytes_per_s;
-  // Every device is busy for the whole ring schedule.
-  for (DeviceId d = 0; d < c; ++d) ctx_->Advance(d, t, phase);
   // Traffic accounting: each byte crosses C-1 hops in a ring; classify by the
   // bottleneck hop for reporting purposes.
   const bool cross = ctx_->cluster().num_machines() > 1;
+  const char* cls =
+      ToString(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu);
+  // Every device is busy for the whole ring schedule.
+  for (DeviceId d = 0; d < c; ++d) {
+    ctx_->AdvanceComm(d, t, phase, label,
+                      {{"bytes", static_cast<double>(total_bytes), nullptr},
+                       {"participants", static_cast<double>(c), nullptr},
+                       {"class", 0.0, cls}});
+  }
+  metrics.bytes.Add(static_cast<std::int64_t>(volume));
   ctx_->CountTraffic(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu,
                      static_cast<std::int64_t>(volume));
   ctx_->BarrierAll(phase);

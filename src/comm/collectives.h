@@ -94,7 +94,7 @@ class Communicator {
     APT_CHECK_EQ(inputs.size(), c);
     std::int64_t total = 0;
     for (const T& v : inputs) total += static_cast<std::int64_t>(bytes_fn(v));
-    ChargeRing(total, /*factor=*/1.0, phase);
+    ChargeRing(total, /*factor=*/1.0, phase, "allbroadcast");
     return inputs;
   }
 
@@ -126,7 +126,7 @@ class Communicator {
     for (const auto& v : inputs) {
       total_bytes += static_cast<std::int64_t>(v.size() * sizeof(T));
     }
-    ChargeRing(total_bytes, /*factor=*/1.0, phase);
+    ChargeRing(total_bytes, /*factor=*/1.0, phase, "allbroadcast");
     std::vector<std::vector<T>> out = inputs;
     return out;
   }
@@ -152,10 +152,14 @@ class Communicator {
   SimContext& ctx() { return *ctx_; }
 
  private:
-  /// Per-device serialized egress/ingress model; barrier at the end.
+  /// Per-device serialized egress/ingress model; barrier at the end. Traced
+  /// as one "alltoall" slice per participant (egress/ingress bytes,
+  /// participant count) and attributed to SimContext comm time.
   void ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes, Phase phase);
   /// Ring collective: time = latency_terms + factor * (C-1)/C * total_bytes / bw.
-  void ChargeRing(std::int64_t total_bytes, double factor, Phase phase);
+  /// `label` names the trace slices ("allreduce" / "allbroadcast").
+  void ChargeRing(std::int64_t total_bytes, double factor, Phase phase,
+                  const char* label);
 
   SimContext* ctx_;
 };

@@ -12,6 +12,7 @@
 
 #include "engine/exec_common.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace apt {
@@ -47,6 +48,7 @@ class DnpExecutor final : public StrategyExecutor {
     agg.num_seeds = total_seeds;
 
     // ---- Permute: group destinations by owner. ---------------------------
+    obs::StageSpan stage("permute", "dnp");
     std::vector<std::vector<DnpDstBatch>> sends(
         static_cast<std::size_t>(c), std::vector<DnpDstBatch>(static_cast<std::size_t>(c)));
     for (DeviceId o = 0; o < c; ++o) {
@@ -68,11 +70,13 @@ class DnpExecutor final : public StrategyExecutor {
     }
 
     // ---- Shuffle destinations to their owners. ---------------------------
+    stage.Next("shuffle");
     auto recv = ctx_->comm->AllToAllObjects(
         std::move(sends), [](const DnpDstBatch& b) { return b.bytes(); },
         Phase::kSample);
 
     // ---- Execute: owners build a local block and run the full layer. ------
+    stage.Next("execute");
     struct OwnerWork {
       Block block;                             ///< owner-local layer-1 graph
       std::vector<DeviceId> origin_of;         ///< per local dst
@@ -143,9 +147,11 @@ class DnpExecutor final : public StrategyExecutor {
     }
 
     // ---- Reshuffle: one embedding row per destination back to origins. ----
+    stage.Next("reshuffle");
     auto out_recv = ctx_->comm->AllToAllTensors(out_sends, Phase::kTrain);
 
     // ---- Remainder of the model at origins. --------------------------------
+    stage.Next("execute");
     std::vector<Tensor> grad_raw0(static_cast<std::size_t>(c));
     for (DeviceId o = 0; o < c; ++o) {
       DeviceBatch& batch = batches[static_cast<std::size_t>(o)];
@@ -174,6 +180,7 @@ class DnpExecutor final : public StrategyExecutor {
     }
 
     // ---- Backward shuffle: destination grads to the owners. ----------------
+    stage.Next("reshuffle");
     std::vector<std::vector<Tensor>> grad_sends(
         static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
     for (DeviceId o = 0; o < c; ++o) {
@@ -190,6 +197,7 @@ class DnpExecutor final : public StrategyExecutor {
     auto grad_recv = ctx_->comm->AllToAllTensors(grad_sends, Phase::kTrain);
 
     // ---- Layer-1 backward at the owners. -----------------------------------
+    stage.Next("execute");
     for (DeviceId g = 0; g < c; ++g) {
       OwnerWork& w = work[static_cast<std::size_t>(g)];
       if (w.block.num_dst == 0) continue;

@@ -63,6 +63,11 @@ struct EpochStats {
   double sample_seconds = 0.0; ///< incl. sampled-subgraph shuffles
   double load_seconds = 0.0;
   double train_seconds = 0.0;  ///< incl. hidden-embedding shuffles
+  /// Collective busy + barrier-wait time (SimContext::CommMax deltas) inside
+  /// the sample / train phases: the measured counterparts of the cost
+  /// model's graph-shuffle and T_shuffle terms.
+  double comm_sample_seconds = 0.0;
+  double comm_train_seconds = 0.0;
 };
 
 }  // namespace apt

@@ -2,6 +2,7 @@
 // inter-device communication is the DDP gradient allreduce (by the trainer).
 #include "engine/executor.h"
 #include "engine/exec_common.h"
+#include "obs/trace.h"
 
 namespace apt {
 
@@ -18,6 +19,8 @@ class GdpExecutor final : public StrategyExecutor {
     }
     StepStats agg;
     agg.num_seeds = total_seeds;
+    // GDP has no shuffle stages: the whole step is one Execute.
+    APT_OBS_SCOPE("execute", "gdp");
     const std::int64_t d = ctx_->feature_dim();
     for (DeviceId dev = 0; dev < ctx_->num_devices(); ++dev) {
       DeviceBatch& batch = batches[static_cast<std::size_t>(dev)];

@@ -14,6 +14,7 @@
 // "intermediate tensors exceed GPU memory" behaviour of Fig 10.
 #include "engine/exec_common.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace apt {
@@ -69,12 +70,14 @@ StepStats NfpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   agg.num_seeds = total_seeds;
 
   // Shuffle: broadcast every device's layer-1 computation graph.
+  obs::StageSpan stage("shuffle", "nfp");
   std::vector<Block> block0s;
   block0s.reserve(static_cast<std::size_t>(c));
   for (const auto& b : batches) block0s.push_back(b.sample.blocks[0]);
   const std::vector<Block> all0 = ctx_->comm->AllBroadcastObjects(
       std::move(block0s), [](const Block& b) { return b.bytes(); }, Phase::kSample);
 
+  stage.Next("execute");
   // Execute: each device computes dimension-sliced partials for ALL graphs.
   // partials[o][g]: device g's contribution to origin o's layer-1 output.
   std::vector<std::vector<Tensor>> partials(
@@ -125,6 +128,7 @@ StepStats NfpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
     ctx_->sim->NoteTransient(g, transient);
   }
 
+  stage.Next("reshuffle");
   // Reshuffle (forward): SparseAllreduce per origin's destination set.
   std::vector<Tensor> raw0(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
@@ -136,6 +140,7 @@ StepStats NfpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
     raw0[static_cast<std::size_t>(o)] = parts[0];  // reduced copy
   }
 
+  stage.Next("execute");
   // Local remainder per origin + loss + backward to the layer-1 boundary.
   std::vector<Tensor> grad_raw0(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
@@ -159,6 +164,7 @@ StepStats NfpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
     agg.correct += s.correct;
   }
 
+  stage.Next("reshuffle");
   // Backward shuffle: broadcast layer-1 output gradients so every device can
   // form the gradient of its weight slice.
   std::vector<Tensor> bc_in(static_cast<std::size_t>(c));
@@ -167,6 +173,7 @@ StepStats NfpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   const std::vector<Tensor> all_grad =
       ctx_->comm->AllBroadcastTensors(bc_in, Phase::kTrain);
 
+  stage.Next("execute");
   for (DeviceId g = 0; g < c; ++g) {
     const auto [lo, hi] = DimSlice(d, c, g);
     auto& sage = dynamic_cast<SageLayer&>(ctx_->model(g).layer(0));
@@ -196,11 +203,13 @@ StepStats NfpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
   StepStats agg;
   agg.num_seeds = total_seeds;
 
+  obs::StageSpan stage("shuffle", "nfp");
   std::vector<Block> block0s;
   for (const auto& b : batches) block0s.push_back(b.sample.blocks[0]);
   const std::vector<Block> all0 = ctx_->comm->AllBroadcastObjects(
       std::move(block0s), [](const Block& b) { return b.bytes(); }, Phase::kSample);
 
+  stage.Next("execute");
   // Partial projections z from each dimension slice, for all graphs.
   std::vector<std::vector<Tensor>> z_parts(
       static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
@@ -241,6 +250,7 @@ StepStats NfpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
     ctx_->sim->NoteTransient(g, transient);
   }
 
+  stage.Next("reshuffle");
   // Allreduce partial projections per origin -> complete z everywhere.
   std::vector<Tensor> z_full(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
@@ -252,6 +262,7 @@ StepStats NfpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
     z_full[static_cast<std::size_t>(o)] = parts[0];
   }
 
+  stage.Next("execute");
   // Attention + remainder at each origin.
   std::vector<Tensor> grad_z(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
@@ -277,9 +288,11 @@ StepStats NfpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
     agg.correct += s.correct;
   }
 
+  stage.Next("reshuffle");
   // Broadcast grad_z so each device forms its weight-slice gradient.
   const std::vector<Tensor> all_grad_z =
       ctx_->comm->AllBroadcastTensors(grad_z, Phase::kTrain);
+  stage.Next("execute");
   for (DeviceId g = 0; g < c; ++g) {
     const auto [lo, hi] = DimSlice(d, c, g);
     auto& gat = dynamic_cast<GatLayer&>(ctx_->model(g).layer(0));

@@ -17,6 +17,7 @@
 
 #include "engine/exec_common.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace apt {
@@ -83,6 +84,7 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   agg.num_seeds = total_seeds;
 
   // ---- Permute: split each origin's layer-1 graph by source owner. -------
+  obs::StageSpan stage("permute", "snp");
   std::vector<std::vector<SnpVirtualBatch>> sends(
       static_cast<std::size_t>(c), std::vector<SnpVirtualBatch>(static_cast<std::size_t>(c)));
   for (DeviceId o = 0; o < c; ++o) {
@@ -116,12 +118,14 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   }
 
   // ---- Shuffle: virtual-node batches to source owners. --------------------
+  stage.Next("shuffle");
   // recv[g][o] = batch from origin o handled on device g.
   auto recv = ctx_->comm->AllToAllObjects(
       std::move(sends), [](const SnpVirtualBatch& v) { return v.bytes(); },
       Phase::kSample);
 
   // ---- Execute: partial aggregation + projection at each owner. ----------
+  stage.Next("execute");
   const std::int64_t d = ctx_->feature_dim();
   std::vector<std::vector<Tensor>> partials(
       static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
@@ -214,6 +218,7 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   }
 
   // ---- Reshuffle: GroupReduce partials at the requesting devices. --------
+  stage.Next("reshuffle");
   std::vector<Tensor> raw0(static_cast<std::size_t>(c));
   std::vector<Tensor*> out_ptrs(static_cast<std::size_t>(c), nullptr);
   for (DeviceId o = 0; o < c; ++o) {
@@ -225,6 +230,7 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   ctx_->comm->GroupReduce(partials, route_index, out_ptrs, Phase::kTrain);
 
   // ---- Remainder of the model at each origin. -----------------------------
+  stage.Next("execute");
   std::vector<Tensor> grad_raw0(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
     DeviceBatch& batch = batches[static_cast<std::size_t>(o)];
@@ -248,6 +254,7 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   }
 
   // ---- Backward shuffle: destination grads back to partial computers. ----
+  stage.Next("reshuffle");
   std::vector<std::vector<Tensor>> grad_sends(
       static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
   for (DeviceId g = 0; g < c; ++g) {
@@ -263,6 +270,7 @@ StepStats SnpExecutor::StepSage(std::vector<DeviceBatch>& batches) {
   auto grad_recv = ctx_->comm->AllToAllTensors(grad_sends, Phase::kTrain);
 
   // ---- Weight gradients at the partial computers. -------------------------
+  stage.Next("execute");
   for (DeviceId g = 0; g < c; ++g) {
     auto& sage = dynamic_cast<SageLayer&>(ctx_->model(g).layer(0));
     double flops = 0.0;
@@ -296,6 +304,7 @@ StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
 
   // ---- Permute: every layer-1 source node's z row is requested from its
   // owner (dedup per (origin, owner) pair). ---------------------------------
+  obs::StageSpan stage("permute", "snp");
   std::vector<std::vector<SnpZRequest>> requests(
       static_cast<std::size_t>(c), std::vector<SnpZRequest>(static_cast<std::size_t>(c)));
   // For reassembly: position of each src node in the origin's z tensor.
@@ -311,11 +320,13 @@ StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
       positions[static_cast<std::size_t>(o)][g].push_back(i);
     }
   }
+  stage.Next("shuffle");
   auto recv_req = ctx_->comm->AllToAllObjects(
       std::move(requests), [](const SnpZRequest& r) { return r.bytes(); },
       Phase::kSample);
 
   // ---- Execute at owners: load features, project, ship z rows. ------------
+  stage.Next("execute");
   std::vector<std::vector<Tensor>> z_sends(
       static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
   std::vector<std::vector<Tensor>> saved_h(z_sends.size(),
@@ -352,9 +363,11 @@ StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
     ctx_->sim->NoteTransient(g, transient);
   }
   // Hidden-embedding shuffle (the GAT extra communication).
+  stage.Next("reshuffle");
   auto z_recv = ctx_->comm->AllToAllTensors(z_sends, Phase::kTrain);
 
   // ---- Attention + remainder at origins. -----------------------------------
+  stage.Next("execute");
   std::vector<Tensor> grad_z_full(static_cast<std::size_t>(c));
   for (DeviceId o = 0; o < c; ++o) {
     DeviceBatch& batch = batches[static_cast<std::size_t>(o)];
@@ -385,6 +398,7 @@ StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
   }
 
   // ---- Backward: grad_z rows return to the owners. -------------------------
+  stage.Next("reshuffle");
   std::vector<std::vector<Tensor>> gz_sends(
       static_cast<std::size_t>(c), std::vector<Tensor>(static_cast<std::size_t>(c)));
   for (DeviceId o = 0; o < c; ++o) {
@@ -399,6 +413,7 @@ StepStats SnpExecutor::StepGat(std::vector<DeviceBatch>& batches) {
     }
   }
   auto gz_recv = ctx_->comm->AllToAllTensors(gz_sends, Phase::kTrain);
+  stage.Next("execute");
   for (DeviceId g = 0; g < c; ++g) {
     auto& gat = dynamic_cast<GatLayer&>(ctx_->model(g).layer(0));
     double flops = 0.0;

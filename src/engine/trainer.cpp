@@ -1,12 +1,26 @@
 #include "engine/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "engine/exec_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/neighbor_sampler.h"
 #include "tensor/ops.h"
 
 namespace apt {
+
+namespace {
+
+/// Comparable time so far (phase maxima, same convention as
+/// CostEstimate::Comparable): sample + load + train-phase communication.
+double ComparableNow(const SimContext& sim) {
+  return sim.PhaseMax(Phase::kSample) + sim.PhaseMax(Phase::kLoad) +
+         sim.CommMax(Phase::kTrain);
+}
+
+}  // namespace
 
 ParallelTrainer::ParallelTrainer(const Dataset& dataset, TrainerSetup setup)
     : dataset_(&dataset), setup_(std::move(setup)) {
@@ -47,11 +61,17 @@ ParallelTrainer::ParallelTrainer(const Dataset& dataset, TrainerSetup setup)
 }
 
 EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
+  APT_OBS_SCOPE("epoch", "engine",
+                {{"epoch", static_cast<double>(epoch), nullptr},
+                 {"strategy", 0.0, ToString(setup_.engine.strategy)}});
   const double t0 = sim_->MaxNow();
   double p0[kNumPhases];
   for (int p = 0; p < kNumPhases; ++p) {
     p0[p] = sim_->PhaseMax(static_cast<Phase>(p));
   }
+  const double comm0_sample = sim_->CommMax(Phase::kSample);
+  const double comm0_train = sim_->CommMax(Phase::kTrain);
+  const double comparable0 = ComparableNow(*sim_);
 
   // Seed scheduling. Chunked mode slices a globally shuffled order; the
   // partition mode gives each device its own partition-local queue
@@ -71,8 +91,16 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
           : plan_->StepsPerEpoch();
   double loss = 0.0;
   std::int64_t correct = 0, seeds_done = 0;
+  // Per-step cost-model residuals: the dry-run prediction is uniform over
+  // steps, the measurement is this step's comparable-time delta.
+  const double predicted_per_step =
+      steps > 0 ? setup_.predicted_comparable_seconds / static_cast<double>(steps)
+                : 0.0;
+  double residual_abs_sum = 0.0, residual_abs_max = 0.0;
   Rng epoch_rng = Rng(setup_.engine.sample_seed).Fork(static_cast<std::uint64_t>(epoch));
   for (std::int64_t step = 0; step < steps; ++step) {
+    APT_OBS_SCOPE("step", "engine", {{"step", static_cast<double>(step), nullptr}});
+    const double step_comparable0 = ComparableNow(*sim_);
     std::vector<std::vector<NodeId>> per_device;
     if (partitioned) {
       per_device.resize(queues.size());
@@ -100,6 +128,12 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     loss += s.loss;
     correct += s.correct;
     seeds_done += s.num_seeds;
+    if (setup_.predicted_comparable_seconds > 0.0) {
+      const double residual =
+          (ComparableNow(*sim_) - step_comparable0) - predicted_per_step;
+      residual_abs_sum += std::abs(residual);
+      residual_abs_max = std::max(residual_abs_max, std::abs(residual));
+    }
   }
 
   EpochStats stats;
@@ -115,6 +149,25 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   stats.sim_seconds =
       stats.sample_seconds + stats.load_seconds + stats.train_seconds;
   stats.wall_seconds = sim_->MaxNow() - t0;
+  stats.comm_sample_seconds = sim_->CommMax(Phase::kSample) - comm0_sample;
+  stats.comm_train_seconds = sim_->CommMax(Phase::kTrain) - comm0_train;
+
+  auto& metrics = obs::Metrics::Global();
+  metrics.counter("trainer.epochs").Increment();
+  metrics.counter("trainer.steps").Add(steps);
+  if (setup_.predicted_comparable_seconds > 0.0) {
+    const double measured = ComparableNow(*sim_) - comparable0;
+    const double predicted = setup_.predicted_comparable_seconds;
+    metrics.gauge("costmodel.predicted_comparable_s").Set(predicted);
+    metrics.gauge("costmodel.measured_comparable_s").Set(measured);
+    metrics.gauge("costmodel.residual_s").Set(measured - predicted);
+    metrics.gauge("costmodel.residual_rel").Set((measured - predicted) / predicted);
+    if (steps > 0) {
+      metrics.gauge("costmodel.step_residual_mean_s")
+          .Set(residual_abs_sum / static_cast<double>(steps));
+      metrics.gauge("costmodel.step_residual_max_s").Set(residual_abs_max);
+    }
+  }
   return stats;
 }
 

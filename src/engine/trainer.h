@@ -32,6 +32,11 @@ struct TrainerSetup {
   CacheConfig cache;                      ///< from the adapter / cache policy
   std::vector<MachineId> feature_placement;  ///< node -> CPU-hosting machine
   std::uint64_t minibatch_seed = 777;
+  /// Dry-run cost-model prediction of one epoch's comparable time
+  /// (CostEstimate::Comparable(); filled by the adapter, 0 = no prediction).
+  /// TrainEpoch compares it against the measured comparable time and
+  /// publishes costmodel.* residual metrics.
+  double predicted_comparable_seconds = 0.0;
 };
 
 class ParallelTrainer {

@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 
 namespace apt {
+
+namespace {
+
+/// Per-tier served-row/byte counters plus the derived cache hit rate.
+/// Registry handles are stable for the process lifetime, so resolve once.
+struct GatherMetrics {
+  obs::Counter& gathers;
+  std::array<obs::Counter*, kNumFeatureTiers> rows;
+  std::array<obs::Counter*, kNumFeatureTiers> bytes;
+  obs::Gauge& hit_rate;
+};
+
+GatherMetrics& FeatureMetrics() {
+  auto& m = obs::Metrics::Global();
+  static GatherMetrics g{
+      m.counter("feature.gathers"),
+      {&m.counter("feature.rows.gpu_cache"), &m.counter("feature.rows.peer_gpu"),
+       &m.counter("feature.rows.local_cpu"), &m.counter("feature.rows.remote_cpu")},
+      {&m.counter("feature.bytes.gpu_cache"), &m.counter("feature.bytes.peer_gpu"),
+       &m.counter("feature.bytes.local_cpu"), &m.counter("feature.bytes.remote_cpu")},
+      m.gauge("feature.cache.hit_rate"),
+  };
+  return g;
+}
+
+}  // namespace
 
 const char* ToString(FeatureTier t) {
   switch (t) {
@@ -113,7 +140,29 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
     const float* src = features_->row(nodes[static_cast<std::size_t>(i)]) + col_lo;
     std::copy_n(src, width, out.row(i));
   }, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, width)));
-  ctx_->Advance(dev, LoadSeconds(dev, vol), Phase::kLoad);
+  GatherMetrics& metrics = FeatureMetrics();
+  metrics.gathers.Increment();
+  std::int64_t total_rows = 0;
+  for (int tier = 0; tier < kNumFeatureTiers; ++tier) {
+    const auto t = static_cast<std::size_t>(tier);
+    metrics.rows[t]->Add(vol.rows[t]);
+    metrics.bytes[t]->Add(vol.bytes[t]);
+    total_rows += vol.rows[t];
+  }
+  // Cumulative hit rate: rows served from the device's own GPU cache over all
+  // rows ever gathered (the quantity the cache policy optimizes).
+  const auto hit_tier = static_cast<std::size_t>(FeatureTier::kGpuCache);
+  const std::int64_t hits = metrics.rows[hit_tier]->Get();
+  std::int64_t all_rows = 0;
+  for (const auto* c : metrics.rows) all_rows += c->Get();
+  if (all_rows > 0) {
+    metrics.hit_rate.Set(static_cast<double>(hits) / static_cast<double>(all_rows));
+  }
+  ctx_->AdvanceLabeled(
+      dev, LoadSeconds(dev, vol), Phase::kLoad, "gather",
+      {{"rows", static_cast<double>(total_rows), nullptr},
+       {"bytes", static_cast<double>(vol.TotalBytes()), nullptr},
+       {"cache_hit_rows", static_cast<double>(vol.rows[hit_tier]), nullptr}});
   ctx_->CountTraffic(TrafficClass::kLocalCpuGpu,
                      vol.bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)]);
   ctx_->CountTraffic(TrafficClass::kPeerGpu,

@@ -1,0 +1,116 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace apt::obs {
+
+namespace {
+
+void WriteMetadataEvent(JsonWriter& w, const char* what, std::int32_t pid,
+                        std::int32_t tid, const std::string& value) {
+  w.BeginObject();
+  w.KV("name", what);
+  w.KV("ph", "M");
+  w.KV("pid", pid);
+  w.KV("tid", tid);
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", value);
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteSortIndex(JsonWriter& w, std::int32_t pid, std::int32_t index) {
+  w.BeginObject();
+  w.KV("name", "process_sort_index");
+  w.KV("ph", "M");
+  w.KV("pid", pid);
+  w.KV("tid", 0);
+  w.Key("args");
+  w.BeginObject();
+  w.KV("sort_index", index);
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteEvent(JsonWriter& w, const TraceEvent& e) {
+  w.BeginObject();
+  w.KV("name", e.name != nullptr ? e.name : "?");
+  if (e.cat != nullptr) w.KV("cat", e.cat);
+  w.KV("ph", std::string_view(&e.ph, 1));
+  w.KV("ts", e.ts_us);
+  if (e.ph == 'X') w.KV("dur", e.dur_us);
+  w.KV("pid", e.pid);
+  w.KV("tid", e.tid);
+  if (e.num_args > 0) {
+    w.Key("args");
+    w.BeginObject();
+    for (int i = 0; i < e.num_args; ++i) {
+      const TraceArg& a = e.args[static_cast<std::size_t>(i)];
+      if (a.key == nullptr) continue;
+      if (a.str != nullptr) {
+        w.KV(a.key, a.str);
+      } else {
+        w.KV(a.key, a.num);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteChromeTraceJson(std::ostream& os, const std::vector<TraceEvent>& events,
+                          const std::vector<SimTrackInfo>& sim_tracks,
+                          std::int32_t num_host_lanes) {
+  // Stable timestamp order within each lane keeps viewers happy.
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TraceEvent& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->ts_us < b->ts_us;
+                   });
+
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  WriteMetadataEvent(w, "process_name", kHostPid, 0, "host (wall clock)");
+  WriteSortIndex(w, kHostPid, 0);
+  for (std::int32_t t = 0; t < num_host_lanes; ++t) {
+    WriteMetadataEvent(w, "thread_name", kHostPid, t, "cpu" + std::to_string(t));
+  }
+  std::int32_t sort = 1;
+  for (const SimTrackInfo& track : sim_tracks) {
+    WriteMetadataEvent(w, "process_name", track.pid, 0,
+                       "sim[" + std::to_string(track.pid) + "] " + track.label);
+    WriteSortIndex(w, track.pid, sort++);
+    for (std::int32_t lane = 0; lane < track.num_lanes; ++lane) {
+      WriteMetadataEvent(w, "thread_name", track.pid, lane,
+                         "gpu" + std::to_string(lane));
+    }
+  }
+  for (const TraceEvent* e : sorted) WriteEvent(w, *e);
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+bool ExportChromeTrace(const std::string& path) {
+  Tracer& tracer = Tracer::Global();
+  const std::vector<TraceEvent> events = tracer.Drain();
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTraceJson(out, events, tracer.SimTracks(), tracer.NumHostLanes());
+  return static_cast<bool>(out);
+}
+
+}  // namespace apt::obs

@@ -1,0 +1,32 @@
+// Chrome trace-event JSON export for apt::obs traces.
+//
+// The emitted file is the classic "trace event format" object
+// ({"traceEvents": [...]}) that loads in https://ui.perfetto.dev and in
+// chrome://tracing. Layout:
+//   * pid 0            — "host (wall clock)", one lane (tid) per CPU thread
+//                        that recorded spans;
+//   * pid 1, 2, ...    — one process per SimContext ("sim[k] <label>"),
+//                        one lane per simulated device, timestamps in
+//                        simulated microseconds.
+// Process/thread metadata ('M' events) name every lane so Perfetto shows
+// "gpu0".."gpuN-1" under each simulated process.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace apt::obs {
+
+/// Writes `events` (plus track metadata) as trace-event JSON.
+void WriteChromeTraceJson(std::ostream& os, const std::vector<TraceEvent>& events,
+                          const std::vector<SimTrackInfo>& sim_tracks,
+                          std::int32_t num_host_lanes);
+
+/// Drains the global tracer and writes its events to `path`.
+/// Returns false on IO failure.
+bool ExportChromeTrace(const std::string& path);
+
+}  // namespace apt::obs

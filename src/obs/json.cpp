@@ -1,0 +1,109 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace apt::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; the key already separated
+  }
+  if (!first_.back()) *os_ << ",";
+  first_.back() = false;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  *os_ << "{";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  first_.pop_back();
+  *os_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  *os_ << "[";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  first_.pop_back();
+  *os_ << "]";
+}
+
+void JsonWriter::Key(std::string_view k) {
+  Separate();
+  *os_ << "\"" << JsonEscape(k) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  Separate();
+  *os_ << "\"" << JsonEscape(v) << "\"";
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    *os_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *os_ << buf;
+}
+
+void JsonWriter::Value(std::int64_t v) {
+  Separate();
+  *os_ << v;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  *os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  Separate();
+  *os_ << json;
+}
+
+}  // namespace apt::obs

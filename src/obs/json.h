@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer shared by the trace exporter, the metrics
+// dump, and the bench harness (one escaping/formatting implementation
+// instead of the ad-hoc string concatenation the benches used to carry).
+//
+// The writer is a thin comma-and-nesting bookkeeper over an ostream: callers
+// are responsible for emitting a structurally sensible sequence (Key before
+// a value inside an object, matched Begin/End). Numbers are emitted with
+// round-trip precision; NaN/Inf become null (JSON has no literals for them).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apt::obs {
+
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next object member.
+  void Key(std::string_view k);
+
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(double v);
+  void Value(std::int64_t v);
+  void Value(std::int32_t v) { Value(static_cast<std::int64_t>(v)); }
+  void Value(bool v);
+
+  /// Emits `json` verbatim as the next value (caller guarantees it is a
+  /// well-formed JSON fragment, e.g. a record serialized elsewhere).
+  void RawValue(std::string_view json);
+
+  /// Key + value in one call.
+  template <typename T>
+  void KV(std::string_view k, const T& v) {
+    Key(k);
+    Value(v);
+  }
+
+ private:
+  void Separate();  ///< comma between siblings
+
+  std::ostream* os_;
+  /// One entry per open container: true until the first element is written.
+  std::vector<bool> first_{true};
+  bool pending_key_ = false;
+};
+
+}  // namespace apt::obs

@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace apt::obs {
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();  // leaked; see Tracer::Global
+  return *metrics;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+void Metrics::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Metrics::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->Get());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Metrics::GaugeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->Get());
+  return out;
+}
+
+void Metrics::WriteJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : CounterSnapshot()) w.KV(name, value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : GaugeSnapshot()) w.KV(name, value);
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
+}
+
+std::string Metrics::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+std::string Metrics::ToText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : GaugeSnapshot()) {
+    os << name << " " << value << "\n";
+  }
+  return os.str();
+}
+
+bool Metrics::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace apt::obs

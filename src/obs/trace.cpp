@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+namespace apt::obs {
+
+Tracer& Tracer::Global() {
+  // Leaked: worker threads may emit during static destruction of other
+  // objects; a destroyed tracer would be a use-after-free.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer* local = nullptr;
+  if (local == nullptr) {
+    auto buf = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buf->tid = static_cast<std::int32_t>(buffers_.size());
+    local = buf.get();
+    buffers_.push_back(std::move(buf));
+  }
+  return *local;
+}
+
+void Tracer::Emit(TraceEvent e) {
+  ThreadBuffer& buf = LocalBuffer();
+  if (e.domain == Domain::kReal) {
+    e.pid = kHostPid;
+    e.tid = buf.tid;
+  }
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(e);
+}
+
+std::int32_t Tracer::RegisterSimTrack(std::string label, std::int32_t num_lanes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int32_t pid = next_pid_++;
+  sim_tracks_.push_back({pid, std::move(label), num_lanes});
+  return pid;
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+    buf->events.clear();
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SimTrackInfo> Tracer::SimTracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_tracks_;
+}
+
+std::int32_t Tracer::NumHostLanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int32_t>(buffers_.size());
+}
+
+void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
+                 const char* name, const char* cat,
+                 std::initializer_list<TraceArg> args) {
+#if APT_OBS_ENABLED
+  TraceEvent e;
+  e.ts_us = t0_s * 1e6;
+  e.dur_us = (t1_s - t0_s) * 1e6;
+  e.pid = pid;
+  e.tid = lane;
+  e.ph = 'X';
+  e.domain = Domain::kSim;
+  e.name = name;
+  e.cat = cat;
+  for (const TraceArg& a : args) {
+    if (e.num_args == kMaxTraceArgs) break;
+    e.args[static_cast<std::size_t>(e.num_args++)] = a;
+  }
+  Tracer::Global().Emit(e);
+#else
+  (void)pid;
+  (void)lane;
+  (void)t0_s;
+  (void)t1_s;
+  (void)name;
+  (void)cat;
+  (void)args;
+#endif
+}
+
+void EmitSimCounter(std::int32_t pid, double t_s, const char* name,
+                    std::initializer_list<TraceArg> args) {
+#if APT_OBS_ENABLED
+  TraceEvent e;
+  e.ts_us = t_s * 1e6;
+  e.pid = pid;
+  e.tid = 0;
+  e.ph = 'C';
+  e.domain = Domain::kSim;
+  e.name = name;
+  for (const TraceArg& a : args) {
+    if (e.num_args == kMaxTraceArgs) break;
+    e.args[static_cast<std::size_t>(e.num_args++)] = a;
+  }
+  Tracer::Global().Emit(e);
+#else
+  (void)pid;
+  (void)t_s;
+  (void)name;
+  (void)args;
+#endif
+}
+
+}  // namespace apt::obs

@@ -1,0 +1,287 @@
+// apt::obs tracing: low-overhead spans and counter samples over TWO clock
+// domains, exportable as a Chrome/Perfetto trace (see obs/export.h).
+//
+//  * Real wall time — what the CPU kernels and the fork-join runtime
+//    actually spend. Spans are recorded per OS thread (one timeline lane per
+//    thread, under the "host" process) via the RAII ScopedSpan or the
+//    APT_OBS_SCOPE macro.
+//  * Simulated device time — the virtual clocks of a SimContext. Each
+//    SimContext registers one trace "process" whose lanes are its logical
+//    GPUs; SimContext::Advance / BarrierAll emit one slice per clock
+//    advance, named by the caller (gather / alltoall / compute / ...) and
+//    categorized by Phase.
+//
+// Cost discipline: when tracing is disabled — the default — every
+// instrumentation point reduces to ONE relaxed atomic load (or to nothing
+// at all when compiled out with -DAPT_OBS_ENABLED=0). When enabled, events
+// are appended to per-thread buffers, each guarded by its own (uncontended)
+// mutex, so recording is thread-safe under the fork-join pool and a flush
+// from any thread observes a consistent snapshot. Event names/keys must be
+// string literals (or otherwise outlive the tracer): events store pointers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef APT_OBS_ENABLED
+#define APT_OBS_ENABLED 1
+#endif
+
+namespace apt::obs {
+
+/// Which clock a trace event's timestamps belong to.
+enum class Domain : std::int8_t { kReal = 0, kSim = 1 };
+
+/// One numeric or string annotation on an event. `key` and `str` must be
+/// string literals (not owned).
+struct TraceArg {
+  const char* key = nullptr;
+  double num = 0.0;
+  const char* str = nullptr;  ///< when non-null the arg is a string
+};
+
+inline constexpr int kMaxTraceArgs = 4;
+
+/// The host (real wall time) process id in the exported trace; simulated
+/// tracks get ids from Tracer::RegisterSimTrack.
+inline constexpr std::int32_t kHostPid = 0;
+
+struct TraceEvent {
+  double ts_us = 0.0;   ///< start, microseconds in the event's domain
+  double dur_us = 0.0;  ///< duration ('X' events)
+  std::int32_t pid = kHostPid;
+  std::int32_t tid = 0;
+  char ph = 'X';  ///< 'X' complete slice, 'C' counter sample
+  Domain domain = Domain::kReal;
+  std::int8_t num_args = 0;
+  const char* name = nullptr;  ///< literal; not owned
+  const char* cat = nullptr;   ///< literal; not owned
+  std::array<TraceArg, kMaxTraceArgs> args{};
+};
+
+/// A simulated-clock track (one SimContext): `num_lanes` device lanes.
+struct SimTrackInfo {
+  std::int32_t pid = 0;
+  std::string label;
+  std::int32_t num_lanes = 0;
+};
+
+#if APT_OBS_ENABLED
+namespace detail {
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> on{false};
+  return on;
+}
+}  // namespace detail
+
+/// Runtime master switch; false by default.
+inline bool TracingEnabled() {
+  return detail::EnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetTracingEnabled(bool on) {
+  detail::EnabledFlag().store(on, std::memory_order_relaxed);
+}
+#else
+constexpr bool TracingEnabled() { return false; }
+inline void SetTracingEnabled(bool) {}
+#endif
+
+class Tracer {
+ public:
+  /// Process-wide tracer (leaked singleton: safe from worker threads at
+  /// shutdown).
+  static Tracer& Global();
+
+  /// Appends one event to the calling thread's buffer. Real-domain events
+  /// get pid/tid overwritten with the host pid and the thread's lane id.
+  /// Call only when TracingEnabled() — callers guard, keeping the disabled
+  /// path to a single flag load.
+  void Emit(TraceEvent e);
+
+  /// Registers a simulated-clock track; returns its trace pid.
+  std::int32_t RegisterSimTrack(std::string label, std::int32_t num_lanes);
+
+  /// Microseconds of real time since tracer construction.
+  double RealNowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
+  }
+
+  /// Moves all buffered events out (buffers stay registered). Safe to call
+  /// from any thread; concurrent emitters keep writing to their buffers.
+  std::vector<TraceEvent> Drain();
+
+  /// Drops all buffered events and the drop counter (sim track
+  /// registrations persist: live SimContexts keep their pids).
+  void Clear();
+
+  std::vector<SimTrackInfo> SimTracks() const;
+
+  /// Number of host lanes (threads) that have recorded at least one event.
+  std::int32_t NumHostLanes() const;
+
+  /// Events discarded because a thread buffer hit its cap.
+  std::int64_t DroppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Cap per thread buffer: a runaway trace degrades to counted drops
+  /// instead of exhausting memory (~1M events * ~150 B).
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::int32_t tid = 0;
+  };
+
+  Tracer() : epoch_(Clock::now()) {}
+  ThreadBuffer& LocalBuffer();
+
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards buffers_ / sim_tracks_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<SimTrackInfo> sim_tracks_;
+  std::int32_t next_pid_ = kHostPid + 1;
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+/// Emits a complete slice on a simulated-device lane. Timestamps in
+/// simulated SECONDS (converted to trace microseconds here).
+void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
+                 const char* name, const char* cat,
+                 std::initializer_list<TraceArg> args = {});
+
+/// Emits a counter sample on a simulated track at simulated time `t_s`.
+/// The arg keys become the counter's series names.
+void EmitSimCounter(std::int32_t pid, double t_s, const char* name,
+                    std::initializer_list<TraceArg> args);
+
+/// RAII real-time span: records wall time from construction to destruction
+/// on the calling thread's lane. No-op unless tracing is enabled at
+/// construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "cpu",
+                      std::initializer_list<TraceArg> args = {}) {
+#if APT_OBS_ENABLED
+    if (!TracingEnabled()) return;
+    active_ = true;
+    name_ = name;
+    cat_ = cat;
+    num_args_ = 0;
+    for (const TraceArg& a : args) {
+      if (num_args_ == kMaxTraceArgs) break;
+      args_[static_cast<std::size_t>(num_args_++)] = a;
+    }
+    start_us_ = Tracer::Global().RealNowUs();
+#else
+    (void)name;
+    (void)cat;
+    (void)args;
+#endif
+  }
+
+  ~ScopedSpan() {
+#if APT_OBS_ENABLED
+    if (!active_) return;
+    TraceEvent e;
+    e.ts_us = start_us_;
+    e.dur_us = Tracer::Global().RealNowUs() - start_us_;
+    e.ph = 'X';
+    e.domain = Domain::kReal;
+    e.name = name_;
+    e.cat = cat_;
+    e.num_args = num_args_;
+    e.args = args_;
+    Tracer::Global().Emit(e);
+#endif
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+#if APT_OBS_ENABLED
+  bool active_ = false;
+  double start_us_ = 0.0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int8_t num_args_ = 0;
+  std::array<TraceArg, kMaxTraceArgs> args_{};
+#endif
+};
+
+/// Sequential stage marker for multi-stage functions (Permute -> Shuffle ->
+/// Execute -> Reshuffle): holds at most one live span; Next() closes the
+/// current stage and opens the following one on the same thread lane, so
+/// call sites avoid nesting every stage in its own block.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name, const char* cat = "cpu") : cat_(cat) {
+    Open(name);
+  }
+  ~StageSpan() { Close(); }
+
+  void Next(const char* name) {
+    Close();
+    Open(name);
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+#if APT_OBS_ENABLED
+  void Open(const char* name) {
+    if (!TracingEnabled()) return;
+    active_ = true;
+    name_ = name;
+    start_us_ = Tracer::Global().RealNowUs();
+  }
+  void Close() {
+    if (!active_) return;
+    active_ = false;
+    TraceEvent e;
+    e.ts_us = start_us_;
+    e.dur_us = Tracer::Global().RealNowUs() - start_us_;
+    e.ph = 'X';
+    e.domain = Domain::kReal;
+    e.name = name_;
+    e.cat = cat_;
+    Tracer::Global().Emit(e);
+  }
+
+  bool active_ = false;
+  double start_us_ = 0.0;
+  const char* name_ = nullptr;
+#else
+  void Open(const char*) {}
+  void Close() {}
+#endif
+  const char* cat_;
+};
+
+#define APT_OBS_CONCAT_IMPL(a, b) a##b
+#define APT_OBS_CONCAT(a, b) APT_OBS_CONCAT_IMPL(a, b)
+
+#if APT_OBS_ENABLED
+/// Scoped real-time span with a literal name (and optional category/args).
+#define APT_OBS_SCOPE(...) \
+  ::apt::obs::ScopedSpan APT_OBS_CONCAT(apt_obs_scope_, __COUNTER__)(__VA_ARGS__)
+#else
+#define APT_OBS_SCOPE(...) \
+  do {                     \
+  } while (false)
+#endif
+
+}  // namespace apt::obs

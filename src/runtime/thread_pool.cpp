@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "core/error.h"
+#include "obs/trace.h"
 
 namespace apt {
 
@@ -103,6 +104,8 @@ void ThreadPool::ForkJoin(std::int64_t num_chunks, ChunkFn fn, void* ctx) {
     for (std::int64_t c = 0; c < num_chunks; ++c) fn(ctx, c);
     return;
   }
+  APT_OBS_SCOPE("fork_join", "runtime",
+                {{"chunks", static_cast<double>(num_chunks), nullptr}});
   std::lock_guard<std::mutex> fork_lock(fork_mutex_);
   Job job(fn, ctx, num_chunks);
   {

@@ -1,8 +1,26 @@
 #include "sim/sim_context.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
 
 namespace apt {
+
+namespace {
+
+/// Metric names per traffic class, resolved once (registry handles are
+/// stable for the process lifetime).
+obs::Counter& TrafficCounter(TrafficClass c) {
+  static obs::Counter* counters[static_cast<std::size_t>(TrafficClass::kNumClasses)] = {
+      &obs::Metrics::Global().counter("sim.traffic.local_cpu_gpu.bytes"),
+      &obs::Metrics::Global().counter("sim.traffic.peer_gpu.bytes"),
+      &obs::Metrics::Global().counter("sim.traffic.cross_machine.bytes"),
+  };
+  return *counters[static_cast<std::size_t>(c)];
+}
+
+}  // namespace
 
 const char* ToString(Phase p) {
   switch (p) {
@@ -16,28 +34,76 @@ const char* ToString(Phase p) {
   return "?";
 }
 
+const char* ToString(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kLocalCpuGpu:
+      return "local_cpu_gpu";
+    case TrafficClass::kPeerGpu:
+      return "peer_gpu";
+    case TrafficClass::kCrossMachine:
+      return "cross_machine";
+    case TrafficClass::kNumClasses:
+      break;
+  }
+  return "?";
+}
+
 SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
   const auto n = static_cast<std::size_t>(cluster_.num_devices());
   APT_CHECK_GT(n, 0u);
   clocks_.assign(n, 0.0);
   phase_time_.assign(n, {});
+  comm_time_.assign(n, {});
   persistent_bytes_.assign(n, 0);
   peak_bytes_.assign(n, 0);
 }
 
-void SimContext::Advance(DeviceId dev, double dt, Phase phase) {
+std::int32_t SimContext::ObsPid() {
+  if (obs_pid_ < 0) {
+    obs_pid_ = obs::Tracer::Global().RegisterSimTrack(
+        std::to_string(cluster_.num_machines()) + "m x " +
+            std::to_string(num_devices() / cluster_.num_machines()) + "gpu",
+        num_devices());
+  }
+  return obs_pid_;
+}
+
+void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
+                                 const char* label,
+                                 std::initializer_list<obs::TraceArg> args,
+                                 bool comm) {
   APT_CHECK_GE(dt, 0.0) << "negative time step";
   const std::size_t i = Check(dev);
+  const double t0 = clocks_[i];
   clocks_[i] += dt;
   phase_time_[i][static_cast<std::size_t>(phase)] += dt;
+  if (comm) comm_time_[i][static_cast<std::size_t>(phase)] += dt;
+  if (obs::TracingEnabled() && dt > 0.0) {
+    obs::EmitSimSpan(ObsPid(), dev, t0, clocks_[i],
+                     label != nullptr ? label : ToString(phase), ToString(phase),
+                     args);
+  }
+#ifndef NDEBUG
+  DebugCheckClockInvariant();
+#endif
 }
 
 void SimContext::BarrierAll(Phase phase) {
   const double target = MaxNow();
+  const bool tracing = obs::TracingEnabled();
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
-    phase_time_[i][static_cast<std::size_t>(phase)] += target - clocks_[i];
+    const double wait = target - clocks_[i];
+    phase_time_[i][static_cast<std::size_t>(phase)] += wait;
+    comm_time_[i][static_cast<std::size_t>(phase)] += wait;
+    if (tracing && wait > 0.0) {
+      obs::EmitSimSpan(ObsPid(), static_cast<std::int32_t>(i), clocks_[i], target,
+                       "wait", ToString(phase));
+    }
     clocks_[i] = target;
   }
+#ifndef NDEBUG
+  DebugCheckClockInvariant();
+#endif
 }
 
 double SimContext::MaxNow() const {
@@ -47,6 +113,7 @@ double SimContext::MaxNow() const {
 void SimContext::ResetClocks() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   for (auto& p : phase_time_) p.fill(0.0);
+  for (auto& p : comm_time_) p.fill(0.0);
 }
 
 double SimContext::PhaseTotal(Phase phase) const {
@@ -67,13 +134,43 @@ double SimContext::PhaseOf(DeviceId dev, Phase phase) const {
   return phase_time_[Check(dev)][static_cast<std::size_t>(phase)];
 }
 
+double SimContext::CommOf(DeviceId dev, Phase phase) const {
+  return comm_time_[Check(dev)][static_cast<std::size_t>(phase)];
+}
+
+double SimContext::CommMax(Phase phase) const {
+  double t = 0.0;
+  for (const auto& p : comm_time_) {
+    t = std::max(t, p[static_cast<std::size_t>(phase)]);
+  }
+  return t;
+}
+
+void SimContext::DebugCheckClockInvariant() const {
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    double phase_sum = 0.0, comm_sum = 0.0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      phase_sum += phase_time_[i][static_cast<std::size_t>(p)];
+      comm_sum += comm_time_[i][static_cast<std::size_t>(p)];
+    }
+    const double tol = 1e-9 * std::max(1.0, std::abs(clocks_[i]));
+    APT_CHECK(std::abs(phase_sum - clocks_[i]) <= tol)
+        << "device " << i << ": phase times sum to " << phase_sum
+        << " but clock is " << clocks_[i];
+    APT_CHECK(comm_sum <= phase_sum + tol)
+        << "device " << i << ": comm time " << comm_sum
+        << " exceeds total phase time " << phase_sum;
+  }
+}
+
 double SimContext::ComputeSeconds(DeviceId dev, double flops) const {
   const DeviceSpec& spec = cluster_.device(dev);
   return spec.kernel_launch_s + flops / spec.EffectiveFlops();
 }
 
 void SimContext::ChargeCompute(DeviceId dev, double flops) {
-  Advance(dev, ComputeSeconds(dev, flops), Phase::kTrain);
+  AdvanceLabeled(dev, ComputeSeconds(dev, flops), Phase::kTrain, "compute",
+                 {{"flops", flops, nullptr}});
 }
 
 TrafficClass SimContext::ClassifyDeviceLink(DeviceId a, DeviceId b) const {
@@ -84,6 +181,19 @@ TrafficClass SimContext::ClassifyDeviceLink(DeviceId a, DeviceId b) const {
 TrafficClass SimContext::ClassifyCpuLink(DeviceId dev, MachineId m) const {
   if (cluster_.MachineOf(dev) != m) return TrafficClass::kCrossMachine;
   return TrafficClass::kLocalCpuGpu;
+}
+
+void SimContext::CountTraffic(TrafficClass c, std::int64_t bytes) {
+  const std::size_t i = static_cast<std::size_t>(c);
+  traffic_bytes_[i] += bytes;
+  if (bytes > 0) {
+    TrafficCounter(c).Add(bytes);
+    if (obs::TracingEnabled()) {
+      obs::EmitSimCounter(
+          ObsPid(), MaxNow(), "traffic_bytes",
+          {{ToString(c), static_cast<double>(traffic_bytes_[i]), nullptr}});
+    }
+  }
 }
 
 void SimContext::AllocPersistent(DeviceId dev, std::int64_t bytes) {

@@ -9,11 +9,13 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "core/error.h"
 #include "core/types.h"
+#include "obs/trace.h"
 #include "sim/hardware.h"
 
 namespace apt {
@@ -34,6 +36,8 @@ enum class TrafficClass : int {
   kNumClasses = 3,
 };
 
+const char* ToString(TrafficClass c);
+
 class SimContext {
  public:
   explicit SimContext(ClusterSpec cluster);
@@ -46,16 +50,42 @@ class SimContext {
   double Now(DeviceId dev) const { return clocks_[Check(dev)]; }
 
   /// Advances dev's clock by dt seconds, attributing the time to `phase`.
-  void Advance(DeviceId dev, double dt, Phase phase);
+  /// When tracing is enabled the advance becomes one slice on dev's trace
+  /// lane, named after the phase.
+  void Advance(DeviceId dev, double dt, Phase phase) {
+    AdvanceInternal(dev, dt, phase, nullptr, {}, /*comm=*/false);
+  }
+
+  /// Advance with an explicit trace-slice name and annotations (e.g.
+  /// "gather" with byte counts). Accounting is identical to Advance.
+  void AdvanceLabeled(DeviceId dev, double dt, Phase phase, const char* label,
+                      std::initializer_list<obs::TraceArg> args = {}) {
+    AdvanceInternal(dev, dt, phase, label, args, /*comm=*/false);
+  }
+
+  /// Advance that additionally attributes the time to dev's COMMUNICATION
+  /// budget for `phase` (collective busy time). CommOf/CommMax expose the
+  /// totals so measured shuffle cost is separable from compute — the
+  /// quantity the cost model's T_shuffle / graph-shuffle terms predict.
+  void AdvanceComm(DeviceId dev, double dt, Phase phase, const char* label,
+                   std::initializer_list<obs::TraceArg> args = {}) {
+    AdvanceInternal(dev, dt, phase, label, args, /*comm=*/true);
+  }
 
   /// Synchronizes all devices to the maximum clock (a blocking collective's
-  /// exit point). The wait time each device spends is attributed to `phase`.
+  /// exit point). The wait time each device spends is attributed to `phase`
+  /// and to its communication budget (waiting inside a collective IS
+  /// communication time), and traced as a "wait" slice.
   void BarrierAll(Phase phase);
 
   /// Max clock over all devices (the simulated wall time so far).
   double MaxNow() const;
 
-  /// Resets clocks and phase accounting (not memory or traffic).
+  /// Resets clocks plus phase and communication accounting. Deliberately
+  /// PRESERVES traffic counters and memory accounting: traffic byte totals
+  /// are cumulative per-class transfer volumes (reset only via
+  /// ResetTraffic), and memory high-water marks must survive epoch
+  /// boundaries for OOM detection (reset only via ResetMemory).
   void ResetClocks();
 
   /// Seconds attributed to `phase`, summed over devices / max over devices.
@@ -63,6 +93,20 @@ class SimContext {
   double PhaseMax(Phase phase) const;
   /// Per-device attributed time.
   double PhaseOf(DeviceId dev, Phase phase) const;
+
+  /// Per-device / max-over-devices time spent in collectives (busy + barrier
+  /// wait) attributed to `phase`. Always <= the matching phase time.
+  double CommOf(DeviceId dev, Phase phase) const;
+  double CommMax(Phase phase) const;
+
+  /// Invariant: each device's per-phase times sum to its clock (every clock
+  /// mutation funnels through Advance/BarrierAll, which update both).
+  /// Checked after every advance in debug builds; callable from tests.
+  void DebugCheckClockInvariant() const;
+
+  /// Trace pid of this context's simulated track (one lane per device),
+  /// registered with the global tracer on first use.
+  std::int32_t ObsPid();
 
   // --- compute cost helpers -------------------------------------------
 
@@ -76,9 +120,9 @@ class SimContext {
   TrafficClass ClassifyDeviceLink(DeviceId a, DeviceId b) const;
   TrafficClass ClassifyCpuLink(DeviceId dev, MachineId m) const;
 
-  void CountTraffic(TrafficClass c, std::int64_t bytes) {
-    traffic_bytes_[static_cast<std::size_t>(c)] += bytes;
-  }
+  /// Adds to the cumulative per-class byte total (also mirrored into the
+  /// global obs metrics registry and, when tracing, a counter track).
+  void CountTraffic(TrafficClass c, std::int64_t bytes);
   std::int64_t TrafficBytes(TrafficClass c) const {
     return traffic_bytes_[static_cast<std::size_t>(c)];
   }
@@ -102,13 +146,18 @@ class SimContext {
     return static_cast<std::size_t>(dev);
   }
 
+  void AdvanceInternal(DeviceId dev, double dt, Phase phase, const char* label,
+                       std::initializer_list<obs::TraceArg> args, bool comm);
+
   ClusterSpec cluster_;
   std::vector<double> clocks_;
   std::vector<std::array<double, kNumPhases>> phase_time_;
+  std::vector<std::array<double, kNumPhases>> comm_time_;
   std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
       traffic_bytes_{};
   std::vector<std::int64_t> persistent_bytes_;
   std::vector<std::int64_t> peak_bytes_;
+  std::int32_t obs_pid_ = -1;  ///< lazily registered trace track
 };
 
 }  // namespace apt

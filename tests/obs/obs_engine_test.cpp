@@ -1,0 +1,157 @@
+// Cross-layer observability tests: the FeatureStore's cache hit/miss
+// counters against a hand-computed access sequence, and consistency between
+// the EpochStats a trainer reports and the sum of the simulated-device trace
+// slices it emits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/trainer.h"
+#include "feature/feature_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/hardware.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::MakeTrainer;
+using ::apt::testing::SmallDataset;
+
+struct FeatureCounterSnapshot {
+  std::int64_t gathers;
+  std::int64_t cache_rows;
+  std::int64_t cpu_rows;
+  std::int64_t cache_bytes;
+  std::int64_t cpu_bytes;
+
+  static FeatureCounterSnapshot Take() {
+    obs::Metrics& m = obs::Metrics::Global();
+    return {m.counter("feature.gathers").Get(),
+            m.counter("feature.rows.gpu_cache").Get(),
+            m.counter("feature.rows.local_cpu").Get(),
+            m.counter("feature.bytes.gpu_cache").Get(),
+            m.counter("feature.bytes.local_cpu").Get()};
+  }
+};
+
+TEST(FeatureStoreObsTest, CountersMatchHandComputedSequence) {
+  // 10 nodes, dim 4 (16 bytes/row); device 0 caches nodes 1 and 2.
+  SimContext sim(SingleMachineCluster(2));
+  Tensor feats(10, 4);
+  FeatureStore store(feats, std::vector<MachineId>(10, 0), sim);
+  store.ConfigureCaches({{1, 2}, {}}, 1 << 10);
+
+  const FeatureCounterSnapshot before = FeatureCounterSnapshot::Take();
+  Tensor out2(2, 4);
+  store.Gather(0, std::vector<NodeId>{2, 7}, 0, 4, out2);  // 1 hit, 1 miss
+  Tensor out3(3, 4);
+  store.Gather(0, std::vector<NodeId>{1, 2, 9}, 0, 4, out3);  // 2 hits, 1 miss
+  const FeatureCounterSnapshot after = FeatureCounterSnapshot::Take();
+
+  EXPECT_EQ(after.gathers - before.gathers, 2);
+  EXPECT_EQ(after.cache_rows - before.cache_rows, 3);
+  EXPECT_EQ(after.cpu_rows - before.cpu_rows, 2);
+  EXPECT_EQ(after.cache_bytes - before.cache_bytes, 3 * 16);
+  EXPECT_EQ(after.cpu_bytes - before.cpu_bytes, 2 * 16);
+
+  // The published hit rate is cumulative over the process, so only its
+  // range is checkable here; exact-ratio coverage comes from the deltas.
+  const double rate = obs::Metrics::Global().gauge("feature.cache.hit_rate").Get();
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(FeatureStoreObsTest, ColumnSliceScalesByteCounters) {
+  SimContext sim(SingleMachineCluster(1));
+  Tensor feats(4, 8);
+  FeatureStore store(feats, std::vector<MachineId>(4, 0), sim);
+  store.ConfigureCaches({{}}, 0);
+  const FeatureCounterSnapshot before = FeatureCounterSnapshot::Take();
+  Tensor out(1, 3);
+  store.Gather(0, std::vector<NodeId>{3}, 2, 5, out);  // 3 of 8 columns
+  const FeatureCounterSnapshot after = FeatureCounterSnapshot::Take();
+  EXPECT_EQ(after.cpu_rows - before.cpu_rows, 1);
+  EXPECT_EQ(after.cpu_bytes - before.cpu_bytes, 3 * 4);
+}
+
+// Trains one epoch under tracing and checks that, for every phase, the
+// per-device sum of emitted sim-domain slice durations — max'ed over
+// devices — reproduces the EpochStats breakdown the trainer returned.
+void CheckEpochAgainstTrace(Strategy strategy) {
+  const Dataset ds = SmallDataset();
+  auto trainer = MakeTrainer(ds, SingleMachineCluster(4), strategy);
+  const std::int32_t pid = trainer->sim().ObsPid();
+
+  obs::SetTracingEnabled(true);
+  obs::Tracer::Global().Clear();
+  const EpochStats stats = trainer->TrainEpoch(0);
+  obs::SetTracingEnabled(false);
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+
+  // us per (device lane, phase category), sim domain, this trainer only.
+  std::map<std::pair<std::int32_t, std::string>, double> lane_phase_us;
+  for (const obs::TraceEvent& e : events) {
+    if (e.domain != obs::Domain::kSim || e.pid != pid || e.ph != 'X') continue;
+    lane_phase_us[{e.tid, e.cat}] += e.dur_us;
+  }
+  ASSERT_FALSE(lane_phase_us.empty()) << "no sim slices traced";
+
+  const std::map<std::string, double> expected = {
+      {"sample", stats.sample_seconds},
+      {"load", stats.load_seconds},
+      {"train", stats.train_seconds},
+  };
+  for (const auto& [phase, want_s] : expected) {
+    double max_s = 0.0;
+    for (std::int32_t lane = 0; lane < 4; ++lane) {
+      const auto it = lane_phase_us.find({lane, phase});
+      if (it != lane_phase_us.end()) max_s = std::max(max_s, it->second * 1e-6);
+    }
+    EXPECT_NEAR(max_s, want_s, 1e-9 + 1e-6 * want_s)
+        << ToString(strategy) << " phase " << phase;
+  }
+}
+
+class EpochTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::SetTracingEnabled(false);
+    obs::Tracer::Global().Clear();
+  }
+};
+
+TEST_F(EpochTraceTest, GdpEpochStatsMatchTraceSums) {
+  CheckEpochAgainstTrace(Strategy::kGDP);
+}
+
+TEST_F(EpochTraceTest, DnpEpochStatsMatchTraceSums) {
+  CheckEpochAgainstTrace(Strategy::kDNP);
+}
+
+TEST_F(EpochTraceTest, CostModelResidualGaugesPublished) {
+  // A prediction in the setup makes TrainEpoch publish costmodel.* gauges.
+  const Dataset ds = SmallDataset();
+  auto trainer = MakeTrainer(ds, SingleMachineCluster(2), Strategy::kGDP);
+  obs::Metrics& m = obs::Metrics::Global();
+  m.gauge("costmodel.predicted_comparable_s").Set(0.0);
+  m.gauge("costmodel.measured_comparable_s").Set(0.0);
+  // MakeTrainer leaves predicted_comparable_seconds at 0 (no dry-run
+  // estimate), so gauges must stay untouched...
+  trainer->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(m.gauge("costmodel.predicted_comparable_s").Get(), 0.0);
+  // ...while a trainer built through the adapter (BuildTrainerSetup fills
+  // the prediction) publishes them; emulate with a direct setup copy.
+  TrainerSetup setup = trainer->setup();
+  setup.predicted_comparable_seconds = 1e-3;
+  ParallelTrainer predicted(ds, std::move(setup));
+  predicted.TrainEpoch(0);
+  EXPECT_GT(m.gauge("costmodel.predicted_comparable_s").Get(), 0.0);
+  EXPECT_GT(m.gauge("costmodel.measured_comparable_s").Get(), 0.0);
+}
+
+}  // namespace
+}  // namespace apt

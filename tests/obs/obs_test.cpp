@@ -1,0 +1,475 @@
+// apt::obs unit tests: JSON writer, metrics registry, tracer behaviour under
+// the fork-join pool, and well-formedness of the exported Chrome trace
+// (parsed back with the mini JSON parser below).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/parallel_for.h"
+
+namespace apt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser — just enough to verify the files obs emits are
+// well-formed and to navigate their structure. Numbers parse via strtod;
+// escapes handled are the ones JsonEscape produces.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            out->push_back(static_cast<char>(code));  // control chars only
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->arr.push_back(std::move(v));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      return ConsumeLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::kBool;
+      out->b = false;
+      return ConsumeLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::kNull;
+      return ConsumeLiteral("null");
+    }
+    // Number.
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    out->num = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    out->kind = JsonValue::kNumber;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool ParseJsonFile(const std::string& path, JsonValue* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return JsonParser(buf.str()).Parse(out);
+}
+
+// Resets tracing to off + empty buffers around every tracer test so the
+// suite's tests do not leak events into each other.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetTracingEnabled(false);
+    obs::Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    obs::SetTracingEnabled(false);
+    obs::Tracer::Global().Clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, NestingAndSeparators) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.KV("a", std::int64_t{1});
+  w.Key("b");
+  w.BeginArray();
+  w.Value(std::int64_t{2});
+  w.Value("x");
+  w.BeginObject();
+  w.KV("c", true);
+  w.EndObject();
+  w.EndArray();
+  w.KV("d", 1.5);
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[2,"x",{"c":true}],"d":1.5})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.Value("q\"b\\s\nn\tt");
+  EXPECT_EQ(os.str(), "\"q\\\"b\\\\s\\nn\\tt\"");
+  EXPECT_EQ(obs::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginArray();
+  w.Value(std::nan(""));
+  w.Value(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, RawValueInterleavesWithSiblings) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginArray();
+  w.RawValue(R"({"k":1})");
+  w.RawValue("[2]");
+  w.Value(std::int64_t{3});
+  w.EndArray();
+  EXPECT_EQ(os.str(), R"([{"k":1},[2],3])");
+  JsonValue v;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&v));
+  EXPECT_EQ(v.arr.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeRoundTrip) {
+  obs::Metrics& m = obs::Metrics::Global();
+  obs::Counter& c = m.counter("test.obs.counter");
+  obs::Gauge& g = m.gauge("test.obs.gauge");
+  const std::int64_t before = c.Get();
+  c.Increment();
+  c.Add(4);
+  EXPECT_EQ(c.Get(), before + 5);
+  // Same name -> same handle.
+  EXPECT_EQ(&m.counter("test.obs.counter"), &c);
+  g.Set(0.25);
+  EXPECT_DOUBLE_EQ(m.gauge("test.obs.gauge").Get(), 0.25);
+}
+
+TEST(MetricsTest, JsonDumpParsesAndContainsNames) {
+  obs::Metrics& m = obs::Metrics::Global();
+  m.counter("test.obs.dump").Add(7);
+  m.gauge("test.obs.rate").Set(0.5);
+  JsonValue v;
+  ASSERT_TRUE(JsonParser(m.ToJson()).Parse(&v));
+  const JsonValue* counters = v.Find("counters");
+  const JsonValue* gauges = v.Find("gauges");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(counters->Find("test.obs.dump"), nullptr);
+  EXPECT_GE(counters->Find("test.obs.dump")->num, 7.0);
+  ASSERT_NE(gauges->Find("test.obs.rate"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("test.obs.rate")->num, 0.5);
+}
+
+TEST(MetricsTest, CountersAreThreadSafeUnderParallelFor) {
+  obs::Counter& c = obs::Metrics::Global().counter("test.obs.parallel");
+  const std::int64_t before = c.Get();
+  ParallelFor(0, 10000, [&](std::int64_t) { c.Increment(); });
+  EXPECT_EQ(c.Get(), before + 10000);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  {
+    APT_OBS_SCOPE("invisible", "test");
+    obs::StageSpan stage("also_invisible", "test");
+    stage.Next("still_invisible");
+  }
+  EXPECT_TRUE(obs::Tracer::Global().Drain().empty());
+}
+
+TEST_F(TracerTest, SpansNestOnOneThread) {
+  obs::SetTracingEnabled(true);
+  {
+    APT_OBS_SCOPE("outer", "test");
+    { APT_OBS_SCOPE("inner", "test", {{"k", 3.0, nullptr}}); }
+  }
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first; both slices land on the same host lane and the
+  // inner's window is contained in the outer's.
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.pid, obs::kHostPid);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+  ASSERT_EQ(inner.num_args, 1);
+  EXPECT_STREQ(inner.args[0].key, "k");
+  EXPECT_DOUBLE_EQ(inner.args[0].num, 3.0);
+}
+
+TEST_F(TracerTest, StageSpanEmitsSequentialSlices) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::StageSpan stage("permute", "test");
+    stage.Next("shuffle");
+    stage.Next("execute");
+  }
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "permute");
+  EXPECT_STREQ(events[1].name, "shuffle");
+  EXPECT_STREQ(events[2].name, "execute");
+  // Consecutive stages do not overlap: each starts where the previous ended.
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_GE(events[static_cast<std::size_t>(i)].ts_us,
+              events[static_cast<std::size_t>(i - 1)].ts_us +
+                  events[static_cast<std::size_t>(i - 1)].dur_us - 1e-6);
+  }
+}
+
+TEST_F(TracerTest, FlushUnderParallelForKeepsEveryEvent) {
+  // Worker threads record into per-thread buffers; a Drain between rounds
+  // must not lose events, and recording continues into the same (still
+  // registered) buffers afterwards. TSan covers the data-race side.
+  obs::SetTracingEnabled(true);
+  constexpr std::int64_t kSpans = 2000;
+  const auto emit_round = [](std::int64_t n) {
+    ParallelFor(
+        0, n, [](std::int64_t) { APT_OBS_SCOPE("work", "test"); },
+        /*grain=*/64);
+  };
+  emit_round(kSpans / 2);
+  std::vector<obs::TraceEvent> drained = obs::Tracer::Global().Drain();
+  emit_round(kSpans - kSpans / 2);
+  const std::vector<obs::TraceEvent> rest = obs::Tracer::Global().Drain();
+  drained.insert(drained.end(), rest.begin(), rest.end());
+  std::int64_t work_spans = 0;
+  for (const obs::TraceEvent& e : drained) {
+    if (std::string_view(e.name) == "work") ++work_spans;
+  }
+  EXPECT_EQ(work_spans, kSpans);
+  EXPECT_EQ(obs::Tracer::Global().DroppedEvents(), 0);
+  EXPECT_GE(obs::Tracer::Global().NumHostLanes(), 1);
+}
+
+TEST_F(TracerTest, SimSpansCarryRegisteredTrack) {
+  obs::SetTracingEnabled(true);
+  const std::int32_t pid = obs::Tracer::Global().RegisterSimTrack("2gpu", 2);
+  EXPECT_GT(pid, obs::kHostPid);
+  obs::EmitSimSpan(pid, 1, 0.5, 0.75, "gather", "load",
+                   {{"bytes", 128.0, nullptr}});
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pid, pid);
+  EXPECT_EQ(events[0].tid, 1);
+  EXPECT_EQ(events[0].domain, obs::Domain::kSim);
+  // Simulated seconds convert to trace microseconds.
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 0.5e6);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.25e6);
+  const std::vector<obs::SimTrackInfo> tracks = obs::Tracer::Global().SimTracks();
+  bool found = false;
+  for (const obs::SimTrackInfo& t : tracks) {
+    if (t.pid == pid) {
+      found = true;
+      EXPECT_EQ(t.num_lanes, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST_F(TracerTest, ExportedTraceIsWellFormed) {
+  obs::SetTracingEnabled(true);
+  const std::int32_t pid = obs::Tracer::Global().RegisterSimTrack("1m x 2gpu", 2);
+  { APT_OBS_SCOPE("host_work", "test"); }
+  obs::EmitSimSpan(pid, 0, 0.0, 0.25, "compute", "train");
+  obs::EmitSimSpan(pid, 1, 0.0, 0.5, "gather", "load");
+  obs::EmitSimCounter(pid, 0.5, "traffic_bytes", {{"peer_gpu", 42.0, nullptr}});
+
+  const std::string path = "obs_test_trace.json";
+  ASSERT_TRUE(obs::ExportChromeTrace(path));
+  JsonValue root;
+  ASSERT_TRUE(ParseJsonFile(path, &root)) << "trace is not valid JSON";
+  std::remove(path.c_str());
+
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  int sim_lanes_named = 0;
+  bool host_named = false, sim_named = false;
+  bool saw_slice = false, saw_counter = false;
+  for (const JsonValue& e : events->arr) {
+    ASSERT_EQ(e.kind, JsonValue::kObject);
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("name"), nullptr);
+    if (ph->str == "M") {
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (e.Find("name")->str == "process_name") {
+        const std::string& pname = args->Find("name")->str;
+        if (e.Find("pid")->num == obs::kHostPid) {
+          host_named = true;
+          EXPECT_NE(pname.find("host"), std::string::npos);
+        } else if (e.Find("pid")->num == pid) {
+          sim_named = true;
+          EXPECT_NE(pname.find("1m x 2gpu"), std::string::npos);
+        }
+      }
+      if (e.Find("name")->str == "thread_name" && e.Find("pid")->num == pid) {
+        ++sim_lanes_named;  // expect gpu0 + gpu1
+        EXPECT_EQ(args->Find("name")->str.substr(0, 3), "gpu");
+      }
+    } else if (ph->str == "X") {
+      saw_slice = true;
+      ASSERT_NE(e.Find("ts"), nullptr);
+      ASSERT_NE(e.Find("dur"), nullptr);
+      ASSERT_NE(e.Find("cat"), nullptr);
+      if (e.Find("name")->str == "gather") {
+        EXPECT_EQ(e.Find("pid")->num, pid);
+        EXPECT_EQ(e.Find("tid")->num, 1.0);
+        EXPECT_DOUBLE_EQ(e.Find("dur")->num, 0.5e6);
+      }
+    } else if (ph->str == "C") {
+      saw_counter = true;
+      ASSERT_NE(e.Find("args"), nullptr);
+      EXPECT_DOUBLE_EQ(e.Find("args")->Find("peer_gpu")->num, 42.0);
+    }
+  }
+  EXPECT_TRUE(host_named);
+  EXPECT_TRUE(sim_named);
+  EXPECT_EQ(sim_lanes_named, 2);  // one lane per simulated device
+  EXPECT_TRUE(saw_slice);
+  EXPECT_TRUE(saw_counter);
+}
+
+}  // namespace
+}  // namespace apt
