@@ -1,0 +1,130 @@
+// Ablation of the fault-injection layer: epoch cost under each fault class
+// versus the fault-free baseline, plus the cost of having the layer compiled
+// in at all. The "empty_plan" row installs a FaultPlan with no faults — its
+// delta against "baseline" is the zero-fault injection overhead, which the
+// chaos suite asserts is bit-exact zero (ZeroFaultInjectionHasZeroOverhead);
+// here it is printed and recorded so regressions show up in BENCH_faults.json.
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "apt/apt_system.h"
+#include "apt/resilience.h"
+#include "bench_util.h"
+#include "sim/fault.h"
+
+namespace {
+
+using namespace apt;
+
+struct ScenarioResult {
+  double sim_seconds = 0.0;
+  double loss = 0.0;
+  std::int64_t retries = 0;
+  std::int64_t faults_observed = 0;
+};
+
+ScenarioResult RunScenario(const Dataset& ds, const ClusterSpec& cluster,
+                           const ModelConfig& model, const EngineOptions& opts,
+                           const FaultPlan* plan, bool retry) {
+  AptSystem system(ds, cluster, model, opts);
+  const PlanReport& report = system.Plan();
+  if (retry) system.options().recovery.retry_collectives = true;
+  auto trainer = system.MakeTrainer(report.selected);
+  if (plan != nullptr) trainer->sim().InstallFaults(*plan);
+  const EpochStats e = trainer->TrainEpoch(0);
+  ScenarioResult r;
+  r.sim_seconds = e.sim_seconds;
+  r.loss = e.loss;
+  r.retries = trainer->recovery_stats().retries;
+  r.faults_observed = trainer->sim().FaultsObserved();
+  return r;
+}
+
+void Record(const char* scenario, const ScenarioResult& r) {
+  std::ostringstream os;
+  os << "{\"scenario\":\"" << scenario << "\",\"sim_seconds\":" << r.sim_seconds
+     << ",\"loss\":" << r.loss << ",\"retries\":" << r.retries
+     << ",\"faults_observed\":" << r.faults_observed << "}";
+  bench::AddRecord(os.str());
+}
+
+void PrintRow(const char* scenario, const ScenarioResult& r, double baseline_s) {
+  std::printf("%-26s | %12.3f | %8.2fx | %7.4f | %7lld | %6lld\n", scenario,
+              r.sim_seconds * 1e3, r.sim_seconds / baseline_s, r.loss,
+              static_cast<long long>(r.retries),
+              static_cast<long long>(r.faults_observed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+  BenchInit("faults", &argc, argv);
+
+  const Dataset& ds = PsLike();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  const ModelConfig model = SageConfig(ds, 32);
+  EngineOptions opts = PaperDefaults();
+  opts.cache_bytes_per_device = DefaultCacheBytes(ds);
+
+  std::printf("=== Ablation: fault injection & recovery (GraphSAGE, 4 GPUs) ===\n");
+  std::printf("%-26s | %12s | %9s | %7s | %7s | %6s\n", "scenario",
+              "epoch(ms)", "vs clean", "loss", "retries", "faults");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  const ScenarioResult baseline =
+      RunScenario(ds, cluster, model, opts, nullptr, false);
+  PrintRow("baseline", baseline, baseline.sim_seconds);
+  Record("baseline", baseline);
+
+  const FaultPlan empty;
+  const ScenarioResult empty_plan =
+      RunScenario(ds, cluster, model, opts, &empty, false);
+  PrintRow("empty_plan", empty_plan, baseline.sim_seconds);
+  Record("empty_plan", empty_plan);
+
+  FaultPlan straggler;
+  straggler.stragglers.push_back(
+      {.device = 0, .start_s = 0.0, .end_s = 1e9, .slowdown = 3.0});
+  const ScenarioResult straggler_r =
+      RunScenario(ds, cluster, model, opts, &straggler, false);
+  PrintRow("straggler_3x", straggler_r, baseline.sim_seconds);
+  Record("straggler_3x", straggler_r);
+
+  FaultPlan flap;
+  flap.links.push_back({.link_class = static_cast<int>(TrafficClass::kPeerGpu),
+                        .start_s = 0.0,
+                        .end_s = 1e9,
+                        .bandwidth_factor = 0.1,
+                        .extra_latency_s = 0.0,
+                        .flap_period_s = 1e-4,
+                        .flap_duty = 0.5});
+  const ScenarioResult flap_r =
+      RunScenario(ds, cluster, model, opts, &flap, false);
+  PrintRow("flapping_peer_link", flap_r, baseline.sim_seconds);
+  Record("flapping_peer_link", flap_r);
+
+  FaultPlan collective;
+  collective.collectives.push_back({.after_bytes = 10'000});
+  const ScenarioResult collective_r =
+      RunScenario(ds, cluster, model, opts, &collective, true);
+  PrintRow("collective_fail_retry", collective_r, baseline.sim_seconds);
+  Record("collective_fail_retry", collective_r);
+
+  // The headline number: relative epoch-time cost of compiling the fault
+  // hooks in but injecting nothing. Must stay ~0 (the hot paths short-circuit
+  // on an empty plan); the acceptance bar is < 1%.
+  const double overhead =
+      (empty_plan.sim_seconds - baseline.sim_seconds) / baseline.sim_seconds;
+  std::printf("%s\n", std::string(82, '-').c_str());
+  std::printf("zero-fault injection overhead: %+.6f%% (loss delta %.1e)\n",
+              overhead * 100.0, std::fabs(empty_plan.loss - baseline.loss));
+  {
+    std::ostringstream os;
+    os << "{\"scenario\":\"overhead\",\"zero_fault_overhead\":" << overhead << "}";
+    AddRecord(os.str());
+  }
+  return BenchFinish();
+}

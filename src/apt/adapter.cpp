@@ -7,13 +7,15 @@ namespace apt {
 TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& model,
                                const EngineOptions& base_opts,
                                const std::vector<PartId>& partition,
-                               const DryRunResult& dryrun, Strategy strategy) {
+                               const DryRunResult& dryrun, Strategy strategy,
+                               std::optional<SeedAssignment> assignment) {
   TrainerSetup setup;
   setup.cluster = cluster;
   setup.model = model;
   setup.engine = base_opts;
   setup.engine.strategy = strategy;
-  setup.engine.seed_assignment = EngineOptions::DefaultAssignment(strategy);
+  setup.engine.seed_assignment =
+      assignment.value_or(EngineOptions::DefaultAssignment(strategy));
   setup.partition = partition;
   setup.cache = dryrun.caches[static_cast<std::size_t>(strategy)];
   setup.feature_placement = FeaturePlacementFromPartition(partition, cluster);

@@ -3,16 +3,22 @@
 // placement, and the communication operators implied by the strategy.
 #pragma once
 
+#include <optional>
+
 #include "apt/planner.h"
 #include "engine/trainer.h"
 
 namespace apt {
 
 /// Builds a ready-to-run TrainerSetup for `strategy`, reusing the dry-run's
-/// cache configuration (the global feature map of §4.2).
+/// cache configuration (the global feature map of §4.2). `assignment` pins
+/// the seed-assignment policy instead of the strategy default — the recovery
+/// layer uses this so a mid-training strategy swap keeps the minibatch
+/// sequence (and hence the learning trajectory) unchanged.
 TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& model,
                                const EngineOptions& base_opts,
                                const std::vector<PartId>& partition,
-                               const DryRunResult& dryrun, Strategy strategy);
+                               const DryRunResult& dryrun, Strategy strategy,
+                               std::optional<SeedAssignment> assignment = std::nullopt);
 
 }  // namespace apt

@@ -28,10 +28,11 @@ const PlanReport& AptSystem::Plan() {
   return report_;
 }
 
-std::unique_ptr<ParallelTrainer> AptSystem::MakeTrainer(Strategy strategy) {
+std::unique_ptr<ParallelTrainer> AptSystem::MakeTrainer(
+    Strategy strategy, std::optional<SeedAssignment> assignment) {
   Plan();
   TrainerSetup setup = BuildTrainerSetup(cluster_, model_, opts_, partition_,
-                                         report_.dryrun, strategy);
+                                         report_.dryrun, strategy, assignment);
   return std::make_unique<ParallelTrainer>(*dataset_, std::move(setup));
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "apt/adapter.h"
 #include "apt/planner.h"
@@ -29,8 +30,10 @@ class AptSystem {
   const PlanReport& Plan();
 
   /// Adapt + Run scaffolding: a trainer configured for `strategy`
-  /// (call Plan() first; the dry-run cache layout is reused).
-  std::unique_ptr<ParallelTrainer> MakeTrainer(Strategy strategy);
+  /// (call Plan() first; the dry-run cache layout is reused). `assignment`
+  /// optionally pins the seed-assignment policy (see BuildTrainerSetup).
+  std::unique_ptr<ParallelTrainer> MakeTrainer(
+      Strategy strategy, std::optional<SeedAssignment> assignment = std::nullopt);
 
   /// Convenience: Plan + train `epochs` epochs with the selected strategy.
   /// Returns the per-epoch stats.
@@ -38,6 +41,11 @@ class AptSystem {
 
   const std::vector<PartId>& partition() const { return partition_; }
   bool planned() const { return planned_; }
+
+  /// Engine options applied to subsequently built trainers. Mutable so the
+  /// recovery layer can inject RecoveryOptions after planning (recovery
+  /// knobs do not affect the plan itself).
+  EngineOptions& options() { return opts_; }
 
  private:
   const Dataset* dataset_;

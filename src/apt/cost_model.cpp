@@ -1,8 +1,51 @@
 #include "apt/cost_model.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/logging.h"
+
 namespace apt {
+
+namespace {
+
+/// Slowdown factor of an operator (>1 = degraded profile is slower).
+double SpeedRatio(double base_bps, double degraded_bps) {
+  if (base_bps <= 0.0 || degraded_bps <= 0.0) return 1.0;
+  return base_bps / degraded_bps;
+}
+
+/// Inverse-speed blend for NFP's two-operator embedding shuffle
+/// (forward allreduce + backward broadcast, equal volumes).
+double BlendedRatio(const CommProfile& base, const CommProfile& degraded) {
+  const double inv_base = (base.allreduce_bytes_per_s > 0 ? 1.0 / base.allreduce_bytes_per_s : 0.0) +
+                          (base.broadcast_bytes_per_s > 0 ? 1.0 / base.broadcast_bytes_per_s : 0.0);
+  const double inv_deg =
+      (degraded.allreduce_bytes_per_s > 0 ? 1.0 / degraded.allreduce_bytes_per_s : 0.0) +
+      (degraded.broadcast_bytes_per_s > 0 ? 1.0 / degraded.broadcast_bytes_per_s : 0.0);
+  if (inv_base <= 0.0 || inv_deg <= 0.0) return 1.0;
+  return inv_deg / inv_base;
+}
+
+/// Slowest device's cumulative load time for `st`'s epoch volumes under `p`.
+double CumulativeLoadSeconds(const StrategyDryRun& st, const CommProfile& p) {
+  double worst = 0.0;
+  for (const LoadVolume& v : st.load) {
+    double t = 0.0;
+    const auto add = [&](FeatureTier tier, double bps) {
+      const auto b = static_cast<double>(v.bytes[static_cast<std::size_t>(tier)]);
+      if (b > 0.0 && bps > 0.0) t += b / bps;
+    };
+    add(FeatureTier::kGpuCache, p.gpu_cache_bytes_per_s);
+    add(FeatureTier::kPeerGpu, p.peer_gpu_bytes_per_s);
+    add(FeatureTier::kLocalCpu, p.local_cpu_bytes_per_s);
+    add(FeatureTier::kRemoteCpu, p.remote_cpu_bytes_per_s);
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace
 
 CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun) {
   const StrategyDryRun& st = dryrun.per_strategy[static_cast<std::size_t>(strategy)];
@@ -21,6 +64,61 @@ std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun)
     out[static_cast<std::size_t>(s)] = EstimateCost(s, dryrun);
   }
   return out;
+}
+
+std::array<CostEstimate, kNumStrategies> ReestimateWithProfile(
+    const DryRunResult& dryrun, const CommProfile& degraded) {
+  const CommProfile& base = dryrun.profile;
+  const double atoa = SpeedRatio(base.alltoall_bytes_per_s, degraded.alltoall_bytes_per_s);
+  const double bcast =
+      SpeedRatio(base.broadcast_bytes_per_s, degraded.broadcast_bytes_per_s);
+  const double nfp_blend = BlendedRatio(base, degraded);
+
+  std::array<CostEstimate, kNumStrategies> out = EstimateAll(dryrun);
+  for (CostEstimate& e : out) {
+    const StrategyDryRun& st =
+        dryrun.per_strategy[static_cast<std::size_t>(e.strategy)];
+    double graph_ratio = 1.0, shuffle_ratio = 1.0;
+    switch (e.strategy) {
+      case Strategy::kGDP:
+        break;  // no strategy shuffles; only T_load degrades
+      case Strategy::kNFP:
+        graph_ratio = bcast;
+        shuffle_ratio = nfp_blend;
+        break;
+      case Strategy::kSNP:
+      case Strategy::kDNP:
+        graph_ratio = atoa;
+        shuffle_ratio = atoa;
+        break;
+    }
+    e.t_build = st.sample_seconds + st.graph_shuffle_seconds * graph_ratio;
+    e.t_shuffle = st.shuffle_seconds * shuffle_ratio;
+    const double load_base = CumulativeLoadSeconds(st, base);
+    const double load_deg = CumulativeLoadSeconds(st, degraded);
+    if (load_base > 0.0 && load_deg > 0.0) {
+      e.t_load = st.load_seconds * (load_deg / load_base);
+    }
+  }
+  return out;
+}
+
+Strategy SelectStrategy(const std::array<CostEstimate, kNumStrategies>& estimates) {
+  bool found = false;
+  double best = 0.0;
+  Strategy selected = Strategy::kGDP;
+  for (const CostEstimate& e : estimates) {
+    if (!e.feasible) continue;
+    if (!found || e.Comparable() < best) {
+      best = e.Comparable();
+      selected = e.strategy;
+      found = true;
+    }
+  }
+  if (!found) {
+    APT_LOG_WARN << "all strategies exceed device memory estimates; defaulting to GDP";
+  }
+  return selected;
 }
 
 std::string FormatEstimate(const CostEstimate& e) {

@@ -32,6 +32,21 @@ CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun);
 /// Estimates for all strategies, in Strategy enum order.
 std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun);
 
+/// Re-derives the estimates with a freshly MEASURED (post-fault) profile,
+/// without repeating the dry-run: each profile-derived term is scaled by its
+/// operator's base-to-degraded speed ratio — graph shuffles by the strategy's
+/// shuffle operator (NFP: broadcast; SNP/DNP: all-to-all), embedding shuffles
+/// likewise (NFP blends allreduce + broadcast), and T_load by the ratio of
+/// cumulative tier-weighted load times under the two profiles. Sampling time
+/// is compute-bound — stragglers hit every strategy's sampling alike, so it
+/// cancels in the comparison and is left unchanged. This is the recovery
+/// layer's input for mid-training strategy re-selection.
+std::array<CostEstimate, kNumStrategies> ReestimateWithProfile(
+    const DryRunResult& dryrun, const CommProfile& degraded);
+
+/// The feasible strategy with the smallest Comparable() (GDP if none fit).
+Strategy SelectStrategy(const std::array<CostEstimate, kNumStrategies>& estimates);
+
 std::string FormatEstimate(const CostEstimate& e);
 
 }  // namespace apt

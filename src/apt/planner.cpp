@@ -10,21 +10,7 @@ PlanReport MakePlan(const Dataset& dataset, const ClusterSpec& cluster,
   PlanReport report;
   report.dryrun = DryRun(dataset, cluster, partition, opts, model);
   report.estimates = EstimateAll(report.dryrun);
-
-  bool found = false;
-  double best = 0.0;
-  for (const CostEstimate& e : report.estimates) {
-    if (!e.feasible) continue;
-    if (!found || e.Comparable() < best) {
-      best = e.Comparable();
-      report.selected = e.strategy;
-      found = true;
-    }
-  }
-  if (!found) {
-    APT_LOG_WARN << "all strategies exceed device memory estimates; defaulting to GDP";
-    report.selected = Strategy::kGDP;
-  }
+  report.selected = SelectStrategy(report.estimates);
   for (const CostEstimate& e : report.estimates) {
     APT_LOG_DEBUG << "plan: " << FormatEstimate(e);
   }

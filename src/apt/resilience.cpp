@@ -1,0 +1,100 @@
+#include "apt/resilience.h"
+
+#include "apt/cost_model.h"
+#include "comm/profiler.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
+
+namespace apt {
+
+ResilientRunner::ResilientRunner(AptSystem& system, ResilienceOptions opts)
+    : system_(&system), opts_(std::move(opts)) {}
+
+ResilienceReport ResilientRunner::Run(int epochs) {
+  const PlanReport& plan = system_->Plan();
+  system_->options().recovery = opts_.recovery;
+  current_ = plan.selected;
+  trainer_ = system_->MakeTrainer(current_);
+  pinned_assignment_ = trainer_->setup().engine.seed_assignment;
+  trainer_->sim().InstallFaults(opts_.faults);
+  faults_seen_ = 0;
+
+  ResilienceReport report;
+  report.epochs.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) {
+    report.strategy_per_epoch.push_back(current_);
+    report.epochs.push_back(trainer_->TrainEpoch(e));
+    if (opts_.replan_on_degradation && e + 1 < epochs) MaybeReplan(report);
+  }
+  const RecoveryStats& rs = trainer_->recovery_stats();
+  report.recovery.collective_failures += rs.collective_failures;
+  report.recovery.retries += rs.retries;
+  report.recovery.giveups += rs.giveups;
+  report.recovery.step_timeouts += rs.step_timeouts;
+  report.final_sim_seconds = trainer_->sim().MaxNow();
+  return report;
+}
+
+void ResilientRunner::MaybeReplan(ResilienceReport& report) {
+  SimContext& sim = trainer_->sim();
+  const double now = sim.MaxNow();
+  // Only reconsider when something actually degraded this epoch: a fault
+  // was newly observed, a step timed out, or the plan says a fault window
+  // covers the current simulated time.
+  const std::int64_t seen = sim.FaultsObserved();
+  const bool active = seen > faults_seen_ ||
+                      trainer_->recovery_stats().step_timeouts > 0 ||
+                      opts_.faults.AnyDegradationAt(now);
+  faults_seen_ = seen;
+  if (!active) return;
+
+  ++report.replans;
+  obs::Metrics::Global().counter("replan.count").Increment();
+  // Measure post-fault operator speeds as of the current simulated instant
+  // and re-run strategy selection on the dry-run volumes.
+  const CommProfile degraded =
+      ProfileCommunication(trainer_->setup().cluster, opts_.faults, now);
+  const auto estimates =
+      ReestimateWithProfile(system_->Plan().dryrun, degraded);
+  const Strategy candidate = SelectStrategy(estimates);
+  const double cur_cost =
+      estimates[static_cast<std::size_t>(current_)].Comparable();
+  const double new_cost =
+      estimates[static_cast<std::size_t>(candidate)].Comparable();
+  obs::Metrics::Global().gauge("replan.current_cost_s").Set(cur_cost);
+  obs::Metrics::Global().gauge("replan.best_cost_s").Set(new_cost);
+  if (candidate == current_ || cur_cost <= 0.0 ||
+      (cur_cost - new_cost) / cur_cost < opts_.min_replan_improvement) {
+    APT_LOG_DEBUG << "replan: staying on " << ToString(current_) << " (best "
+                  << ToString(candidate) << " " << new_cost << "s vs " << cur_cost
+                  << "s)";
+    return;
+  }
+
+  APT_LOG_INFO << "replan: switching " << ToString(current_) << " -> "
+               << ToString(candidate) << " at sim t=" << now << "s ("
+               << cur_cost << "s -> " << new_cost << "s predicted)";
+  ++report.switches;
+  obs::Metrics::Global().counter("replan.switches").Increment();
+  std::unique_ptr<ParallelTrainer> next =
+      system_->MakeTrainer(candidate, pinned_assignment_);
+  // Carry the training state (parameters; Sgd is stateless) and the fault
+  // timeline across: clocks resume at the old wall time so time-windowed
+  // faults neither replay nor vanish. TrainEpoch deltas its stats, so the
+  // pre-advance does not pollute epoch accounting.
+  next->LoadParams(trainer_->model0());
+  next->sim().InstallFaults(opts_.faults);
+  for (DeviceId d = 0; d < next->sim().num_devices(); ++d) {
+    next->sim().Advance(d, now, Phase::kTrain);
+  }
+  const RecoveryStats& rs = trainer_->recovery_stats();
+  report.recovery.collective_failures += rs.collective_failures;
+  report.recovery.retries += rs.retries;
+  report.recovery.giveups += rs.giveups;
+  report.recovery.step_timeouts += rs.step_timeouts;
+  trainer_ = std::move(next);
+  current_ = candidate;
+  faults_seen_ = trainer_->sim().FaultsObserved();
+}
+
+}  // namespace apt

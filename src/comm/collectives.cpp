@@ -1,6 +1,7 @@
 #include "comm/collectives.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "obs/metrics.h"
 #include "tensor/ops.h"
@@ -55,8 +56,14 @@ void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase) {
   if (c == 0) return;
   Tensor sum = *tensors[0];
   for (std::size_t i = 1; i < c; ++i) {
-    APT_CHECK(tensors[i]->SameShape(sum))
-        << "allreduce shape mismatch on device " << i;
+    if (!tensors[i]->SameShape(sum)) {
+      // One participant contributed a bad buffer; its peers would block in
+      // the collective forever. Poison so every waiter gets a typed error.
+      std::ostringstream os;
+      os << "allreduce shape mismatch on device " << i;
+      ctx_->PoisonBarrier(os.str());
+      throw CollectiveError(os.str());
+    }
     Axpy(1.0f, *tensors[i], sum);
   }
   for (std::size_t i = 0; i < c; ++i) *tensors[i] = sum;
@@ -88,7 +95,12 @@ void Communicator::GroupReduce(
     APT_CHECK_EQ(index[i].size(), c);
     for (std::size_t j = 0; j < c; ++j) {
       const Tensor& p = parts[i][j];
-      APT_CHECK_EQ(p.rows(), static_cast<std::int64_t>(index[i][j].size()));
+      if (p.rows() != static_cast<std::int64_t>(index[i][j].size())) {
+        std::ostringstream os;
+        os << "groupreduce index/rows mismatch from device " << i << " to " << j;
+        ctx_->PoisonBarrier(os.str());
+        throw CollectiveError(os.str());
+      }
       if (p.rows() > 0) {
         APT_CHECK(out[j] != nullptr);
         ScatterAddRows(p, index[i][j], *out[j]);
@@ -100,12 +112,11 @@ void Communicator::GroupReduce(
 }
 
 LinkSpec Communicator::RingBottleneck() const {
-  const ClusterSpec& cluster = ctx_->cluster();
   LinkSpec bottleneck{};
   bool first = true;
   const std::int32_t c = num_devices();
   for (DeviceId d = 0; d < c; ++d) {
-    const LinkSpec link = cluster.LinkBetween(d, (d + 1) % c);
+    const LinkSpec link = ctx_->EffectiveLinkBetween(d, (d + 1) % c);
     if (first || link.bandwidth_bytes_per_s < bottleneck.bandwidth_bytes_per_s) {
       bottleneck = link;
       first = false;
@@ -114,35 +125,66 @@ LinkSpec Communicator::RingBottleneck() const {
   return bottleneck;
 }
 
+void Communicator::MaybeFailCollective(std::int64_t wire_bytes,
+                                       const std::vector<double>& busy, Phase phase,
+                                       const char* label) {
+  const std::optional<double> fraction = ctx_->CollectiveFailureFraction(wire_bytes);
+  if (!fraction.has_value()) return;
+  // The call dies part-way through: every participant has burned the
+  // completed fraction of its busy time, nothing was delivered.
+  for (std::size_t d = 0; d < busy.size(); ++d) {
+    ctx_->AdvanceComm(static_cast<DeviceId>(d), *fraction * busy[d], phase,
+                      "fault.collective",
+                      {{"fraction", *fraction, nullptr}, {"op", 0.0, label}});
+  }
+  std::ostringstream os;
+  os << label << " failed after " << ctx_->CollectiveBytesDone()
+     << " collective bytes (completed fraction " << *fraction << ")";
+  ctx_->PoisonBarrier(os.str());
+  throw CollectiveError(os.str());
+}
+
 void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
                                   Phase phase) {
-  const ClusterSpec& cluster = ctx_->cluster();
   const auto c = static_cast<std::size_t>(num_devices());
+  // Cost every lane up front at the PRE-collective clocks (link faults are
+  // evaluated against the time the transfer starts), so a mid-call failure
+  // can charge each participant the same completed fraction. Egress of i and
+  // ingress of i are serialized on i's adapters; the device is busy for the
+  // larger of the two.
+  std::vector<double> busy(c, 0.0);
+  std::vector<std::int64_t> egress_bytes(c, 0), ingress_bytes(c, 0);
   std::int64_t total_bytes = 0;
   for (std::size_t i = 0; i < c; ++i) {
-    // Egress of i and ingress of i are serialized on i's adapters; the
-    // device is busy for the larger of the two.
     double egress = 0.0, ingress = 0.0;
-    std::int64_t egress_bytes = 0, ingress_bytes = 0;
     for (std::size_t j = 0; j < c; ++j) {
       if (i == j) continue;
       const auto di = static_cast<DeviceId>(i);
       const auto dj = static_cast<DeviceId>(j);
       if (bytes[i][j] > 0) {
-        egress += cluster.LinkBetween(di, dj).TransferSeconds(bytes[i][j]);
-        egress_bytes += bytes[i][j];
-        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j]);
+        egress += ctx_->EffectiveLinkBetween(di, dj).TransferSeconds(bytes[i][j]);
+        egress_bytes[i] += bytes[i][j];
       }
       if (bytes[j][i] > 0) {
-        ingress += cluster.LinkBetween(dj, di).TransferSeconds(bytes[j][i]);
-        ingress_bytes += bytes[j][i];
+        ingress += ctx_->EffectiveLinkBetween(dj, di).TransferSeconds(bytes[j][i]);
+        ingress_bytes[i] += bytes[j][i];
       }
     }
-    total_bytes += egress_bytes;
-    ctx_->AdvanceComm(static_cast<DeviceId>(i), std::max(egress, ingress), phase,
-                      "alltoall",
-                      {{"egress_bytes", static_cast<double>(egress_bytes), nullptr},
-                       {"ingress_bytes", static_cast<double>(ingress_bytes), nullptr},
+    busy[i] = std::max(egress, ingress);
+    total_bytes += egress_bytes[i];
+  }
+  MaybeFailCollective(total_bytes, busy, phase, "alltoall");
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (i != j && bytes[i][j] > 0) {
+        const auto di = static_cast<DeviceId>(i);
+        const auto dj = static_cast<DeviceId>(j);
+        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j]);
+      }
+    }
+    ctx_->AdvanceComm(static_cast<DeviceId>(i), busy[i], phase, "alltoall",
+                      {{"egress_bytes", static_cast<double>(egress_bytes[i]), nullptr},
+                       {"ingress_bytes", static_cast<double>(ingress_bytes[i]), nullptr},
                        {"participants", static_cast<double>(c), nullptr}});
   }
   AllToAllMetrics().calls.Increment();
@@ -164,6 +206,9 @@ void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase pha
                         static_cast<double>(total_bytes);
   const double t = static_cast<double>(c - 1) * bottleneck.latency_s +
                    volume / bottleneck.bandwidth_bytes_per_s;
+  MaybeFailCollective(static_cast<std::int64_t>(volume),
+                      std::vector<double>(static_cast<std::size_t>(c), t), phase,
+                      label);
   // Traffic accounting: each byte crosses C-1 hops in a ring; classify by the
   // bottleneck hop for reporting purposes.
   const bool cross = ctx_->cluster().num_machines() > 1;

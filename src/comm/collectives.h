@@ -11,6 +11,13 @@
 //     and ingress on its own link; the collective completes at the slowest.
 //   * ring collectives (AllReduce, AllGather): classic 2(C-1)/C and
 //     (C-1)/C volume terms over the bottleneck link of the ring.
+//
+// Fault interaction: link costs are computed against the SimContext's
+// EFFECTIVE links (degraded by any active LinkFault), and each charging path
+// consults SimContext::CollectiveFailureFraction. When an armed
+// CollectiveFault fires mid-call, every participant is charged the completed
+// fraction of its busy time, the barrier is poisoned for all waiters, and the
+// call throws CollectiveError — never a silent hang or time inflation.
 #pragma once
 
 #include <cstdint>
@@ -146,7 +153,8 @@ class Communicator {
                    const std::vector<std::vector<std::vector<std::int64_t>>>& index,
                    std::vector<Tensor*> out, Phase phase);
 
-  /// Bottleneck link of a ring over all devices (the slowest hop).
+  /// Bottleneck link of a ring over all devices (the slowest hop), after
+  /// applying any active link faults at the participants' current clocks.
   LinkSpec RingBottleneck() const;
 
   SimContext& ctx() { return *ctx_; }
@@ -160,6 +168,11 @@ class Communicator {
   /// `label` names the trace slices ("allreduce" / "allbroadcast").
   void ChargeRing(std::int64_t total_bytes, double factor, Phase phase,
                   const char* label);
+  /// Consults the fault plan with this call's wire bytes. On a hit: charges
+  /// each device the completed fraction of busy[d] (as comm time, traced
+  /// "fault.collective"), poisons the barrier, and throws CollectiveError.
+  void MaybeFailCollective(std::int64_t wire_bytes, const std::vector<double>& busy,
+                           Phase phase, const char* label);
 
   SimContext* ctx_;
 };

@@ -8,16 +8,33 @@
 
 namespace apt {
 
-CommProfile ProfileCommunication(const ClusterSpec& cluster, std::int64_t trial_bytes) {
+namespace {
+
+/// Shared implementation: when `faults` is non-null, each trial context gets
+/// the plan installed (minus collective faults) and its clocks advanced to
+/// `at_time_s` before the trial, so link faults active at that simulated
+/// time degrade the measured speeds.
+CommProfile ProfileImpl(const ClusterSpec& cluster, std::int64_t trial_bytes,
+                        const FaultPlan* faults, double at_time_s) {
   CommProfile profile;
   const std::int32_t c = cluster.num_devices();
   const std::int64_t cols = 64;
   const std::int64_t rows =
       std::max<std::int64_t>(1, trial_bytes / (cols * static_cast<std::int64_t>(sizeof(float))));
 
+  const auto prepare = [&](SimContext& ctx) {
+    if (faults == nullptr) return;
+    ctx.InstallFaults(faults->WithoutCollectiveFaults());
+    for (DeviceId d = 0; d < c; ++d) ctx.Advance(d, at_time_s, Phase::kTrain);
+  };
+  const auto elapsed = [&](const SimContext& ctx) {
+    return std::max(1e-12, ctx.MaxNow() - (faults != nullptr ? at_time_s : 0.0));
+  };
+
   // --- AllToAll: every device sends rows/C to every peer. -----------------
   {
     SimContext ctx(cluster);
+    prepare(ctx);
     Communicator comm(ctx);
     const std::int64_t rows_per_peer = std::max<std::int64_t>(1, rows / std::max(1, c));
     std::vector<std::vector<Tensor>> parts(static_cast<std::size_t>(c));
@@ -29,12 +46,13 @@ CommProfile ProfileCommunication(const ClusterSpec& cluster, std::int64_t trial_
     comm.AllToAllTensors(parts, Phase::kTrain);
     const double per_device_bytes = static_cast<double>(rows_per_peer) * cols *
                                     sizeof(float) * std::max(0, c - 1);
-    profile.alltoall_bytes_per_s = per_device_bytes / std::max(1e-12, ctx.MaxNow());
+    profile.alltoall_bytes_per_s = per_device_bytes / elapsed(ctx);
   }
 
   // --- AllReduce. -----------------------------------------------------------
   {
     SimContext ctx(cluster);
+    prepare(ctx);
     Communicator comm(ctx);
     std::vector<Tensor> bufs;
     std::vector<Tensor*> ptrs;
@@ -43,32 +61,52 @@ CommProfile ProfileCommunication(const ClusterSpec& cluster, std::int64_t trial_
     for (auto& b : bufs) ptrs.push_back(&b);
     comm.AllReduceSum(ptrs, Phase::kTrain);
     profile.allreduce_bytes_per_s =
-        static_cast<double>(bufs[0].bytes()) / std::max(1e-12, ctx.MaxNow());
+        static_cast<double>(bufs[0].bytes()) / elapsed(ctx);
   }
 
   // --- AllBroadcast. ---------------------------------------------------------
   {
     SimContext ctx(cluster);
+    prepare(ctx);
     Communicator comm(ctx);
     std::vector<Tensor> inputs;
     for (std::int32_t i = 0; i < c; ++i) inputs.emplace_back(rows, cols);
     comm.AllBroadcastTensors(inputs, Phase::kTrain);
     const double total = static_cast<double>(inputs[0].bytes()) * c;
-    profile.broadcast_bytes_per_s = total / std::max(1e-12, ctx.MaxNow());
+    profile.broadcast_bytes_per_s = total / elapsed(ctx);
   }
 
   // --- Feature-read channels (straight from the link model). ----------------
   const MachineSpec& m0 = cluster.machines.front();
-  const LinkSpec intra = m0.has_nvlink ? m0.nvlink : m0.pcie;
+  LinkSpec intra = m0.has_nvlink ? m0.nvlink : m0.pcie;
+  LinkSpec pcie = m0.pcie;
+  LinkSpec network = cluster.network;
+  if (faults != nullptr) {
+    intra = faults->Degrade(intra, static_cast<int>(TrafficClass::kPeerGpu), at_time_s);
+    pcie = faults->Degrade(pcie, static_cast<int>(TrafficClass::kLocalCpuGpu), at_time_s);
+    network =
+        faults->Degrade(network, static_cast<int>(TrafficClass::kCrossMachine), at_time_s);
+  }
   auto effective = [&](const LinkSpec& link) {
     return static_cast<double>(trial_bytes) / link.TransferSeconds(trial_bytes);
   };
-  profile.local_cpu_bytes_per_s = effective(m0.pcie);
+  profile.local_cpu_bytes_per_s = effective(pcie);
   profile.remote_cpu_bytes_per_s =
-      cluster.num_machines() > 1 ? effective(cluster.network) : 0.0;
+      cluster.num_machines() > 1 ? effective(network) : 0.0;
   profile.gpu_cache_bytes_per_s = m0.gpu.mem_bandwidth_bytes_per_s;
   profile.peer_gpu_bytes_per_s = effective(intra);
   return profile;
+}
+
+}  // namespace
+
+CommProfile ProfileCommunication(const ClusterSpec& cluster, std::int64_t trial_bytes) {
+  return ProfileImpl(cluster, trial_bytes, nullptr, 0.0);
+}
+
+CommProfile ProfileCommunication(const ClusterSpec& cluster, const FaultPlan& faults,
+                                 double at_time_s, std::int64_t trial_bytes) {
+  return ProfileImpl(cluster, trial_bytes, &faults, at_time_s);
 }
 
 }  // namespace apt

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.h"
 #include "sim/hardware.h"
 
 namespace apt {
@@ -26,6 +27,15 @@ struct CommProfile {
 
 /// Runs trials of `trial_bytes` per device and derives the profile.
 CommProfile ProfileCommunication(const ClusterSpec& cluster,
+                                 std::int64_t trial_bytes = 16LL << 20);
+
+/// Re-profiles AS OF simulated time `at_time_s` under an installed fault
+/// plan: trial contexts have `faults` installed (collective faults stripped —
+/// a probe must not consume them) and their clocks advanced to `at_time_s`,
+/// so time-windowed link degradation applies. This is how the recovery layer
+/// measures POST-fault operator speeds for re-planning.
+CommProfile ProfileCommunication(const ClusterSpec& cluster, const FaultPlan& faults,
+                                 double at_time_s,
                                  std::int64_t trial_bytes = 16LL << 20);
 
 }  // namespace apt

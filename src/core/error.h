@@ -13,6 +13,30 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Base class of every error raised by an *injected* hardware fault
+/// (apt::sim fault plans). Recovery layers catch this type: anything else
+/// escaping a step is a programming error and must propagate.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
+/// A collective operation failed mid-flight (the simulated analogue of an
+/// NCCL communicator abort). The collective's SimContext barrier is left
+/// POISONED; recovery must ClearBarrierPoison() before retrying.
+class CollectiveError : public FaultError {
+ public:
+  explicit CollectiveError(const std::string& what) : FaultError(what) {}
+};
+
+/// A device tried to enter a barrier that a failed peer already poisoned.
+/// Every waiter observes the same typed error instead of silently
+/// synchronizing to inconsistent clocks (or hanging, on real hardware).
+class BarrierPoisonedError : public FaultError {
+ public:
+  explicit BarrierPoisonedError(const std::string& what) : FaultError(what) {}
+};
+
 namespace internal {
 
 /// Stream-style message builder used by the APT_CHECK macros; throws on

@@ -16,6 +16,29 @@ enum class SeedAssignment {
                ///< (SNP / DNP default, paper §3.2 cache-locality rule)
 };
 
+/// Recovery policy for injected (or real) collective faults; consumed by
+/// ParallelTrainer::TrainEpoch. Disabled by default: without it a
+/// CollectiveError propagates out of TrainEpoch unchanged.
+struct RecoveryOptions {
+  bool retry_collectives = false;  ///< retry a step whose collective failed
+  int max_retries_per_step = 3;    ///< give up (rethrow) after this many
+  /// Simulated backoff before attempt k: backoff_base_s * 2^(k-1). Charged
+  /// to every device's clock (kTrain) so retries show up in epoch time.
+  double backoff_base_s = 0.05;
+  /// If > 0: steps whose simulated duration exceeds this are counted as
+  /// timeouts (fault.step_timeouts) — the re-planning layer's signal that
+  /// the current strategy has degraded. Detection only; never aborts.
+  double step_timeout_s = 0.0;
+};
+
+/// Cumulative recovery counters for one trainer (never reset).
+struct RecoveryStats {
+  std::int64_t collective_failures = 0;  ///< CollectiveErrors caught
+  std::int64_t retries = 0;              ///< steps re-attempted
+  std::int64_t giveups = 0;              ///< retry budget exhausted (rethrown)
+  std::int64_t step_timeouts = 0;        ///< steps over step_timeout_s
+};
+
 struct EngineOptions {
   Strategy strategy = Strategy::kGDP;
   std::vector<int> fanouts = {10, 10, 10};
@@ -30,6 +53,7 @@ struct EngineOptions {
   /// requesting device (GDP-style), so hidden embeddings never cross the
   /// inter-machine network. See bench/ablation_hybrid.
   bool hybrid_intra_machine = false;
+  RecoveryOptions recovery;
 
   /// Default assignment rule for a strategy (tests may override to compare
   /// strategies on identical mini-batches).

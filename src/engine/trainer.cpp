@@ -113,11 +113,48 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
       const std::vector<NodeId> step_seeds = plan_->StepSeeds(epoch_seeds, step);
       per_device = AssignSeeds(ctx_, step_seeds);
     }
-    Rng step_rng = epoch_rng.Fork(static_cast<std::uint64_t>(step));
-    std::vector<DeviceBatch> batches = SampleDeviceBatches(ctx_, per_device, step_rng);
-    for (auto& m : models_) m->ZeroGrad();
-    const StepStats s = executor_->Step(batches);
-    AllReduceGradients(ctx_);
+    const RecoveryOptions& rec = setup_.engine.recovery;
+    const double step_wall0 = sim_->MaxNow();
+    StepStats s;
+    // Retry loop: every attempt re-forks the SAME rng stream and re-zeroes
+    // the gradients, so a retried step is bit-identical to an undisturbed
+    // one — faults inflate simulated time, never the arithmetic. Parameters
+    // are untouched until the optimizer below, so a mid-step failure leaves
+    // no residue beyond the (re-zeroed) gradients.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        Rng step_rng = epoch_rng.Fork(static_cast<std::uint64_t>(step));
+        std::vector<DeviceBatch> batches =
+            SampleDeviceBatches(ctx_, per_device, step_rng);
+        for (auto& m : models_) m->ZeroGrad();
+        s = executor_->Step(batches);
+        AllReduceGradients(ctx_);
+        break;
+      } catch (const FaultError&) {
+        ++recovery_stats_.collective_failures;
+        if (!rec.retry_collectives || attempt >= rec.max_retries_per_step) {
+          ++recovery_stats_.giveups;
+          obs::Metrics::Global().counter("retry.collective.giveups").Increment();
+          throw;
+        }
+        ++recovery_stats_.retries;
+        obs::Metrics::Global().counter("retry.collective.attempts").Increment();
+        sim_->ClearBarrierPoison();
+        // Every device sits out the (exponential, simulated) backoff, then
+        // re-enters the step together.
+        const double backoff = rec.backoff_base_s * static_cast<double>(1 << attempt);
+        for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
+          sim_->AdvanceLabeled(d, backoff, Phase::kTrain, "retry.backoff",
+                               {{"attempt", static_cast<double>(attempt + 1), nullptr}});
+        }
+        sim_->BarrierAll(Phase::kTrain);
+      }
+    }
+    if (rec.step_timeout_s > 0.0 &&
+        sim_->MaxNow() - step_wall0 > rec.step_timeout_s) {
+      ++recovery_stats_.step_timeouts;
+      obs::Metrics::Global().counter("fault.step_timeouts").Increment();
+    }
     for (std::size_t d = 0; d < models_.size(); ++d) {
       optimizers_[d]->Step(models_[d]->Params());
     }
@@ -169,6 +206,19 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     }
   }
   return stats;
+}
+
+void ParallelTrainer::LoadParams(GnnModel& src) {
+  std::vector<Param*> from = src.Params();
+  for (auto& model : models_) {
+    std::vector<Param*> to = model->Params();
+    APT_CHECK_EQ(to.size(), from.size()) << "LoadParams across different models";
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      APT_CHECK(to[i]->value.SameShape(from[i]->value))
+          << "LoadParams shape mismatch for " << to[i]->name;
+      to[i]->value = from[i]->value;
+    }
+  }
 }
 
 double ParallelTrainer::EvaluateAccuracy(std::span<const NodeId> nodes,

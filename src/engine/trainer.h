@@ -51,6 +51,15 @@ class ParallelTrainer {
   double EvaluateAccuracy(std::span<const NodeId> nodes, std::uint64_t eval_seed = 5,
                           std::int64_t batch_size = 4096);
 
+  /// Copies parameter values from `src` into every replica. Used when a
+  /// recovery layer swaps strategies mid-training: the new trainer resumes
+  /// from the old trainer's learned parameters (Sgd is stateless, so params
+  /// are the entire training state).
+  void LoadParams(GnnModel& src);
+
+  /// Retry/timeout counters accumulated across all epochs so far.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   SimContext& sim() { return *sim_; }
   GnnModel& model0() { return *models_[0]; }
   const TrainerSetup& setup() const { return setup_; }
@@ -67,6 +76,7 @@ class ParallelTrainer {
   std::unique_ptr<MinibatchPlan> plan_;
   EngineCtx ctx_;
   std::unique_ptr<StrategyExecutor> executor_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace apt

@@ -116,15 +116,23 @@ double FeatureStore::LoadSeconds(DeviceId dev, const LoadVolume& volume) const {
          static_cast<double>(bytes_of(FeatureTier::kGpuCache)) /
              machine.gpu.mem_bandwidth_bytes_per_s;
   }
+  // Each tier's base link is degraded by any link fault active at dev's
+  // current clock (GPU-cache reads never leave the device, so they are
+  // immune to link faults).
+  const double now = ctx_->Now(dev);
   if (bytes_of(FeatureTier::kPeerGpu) > 0) {
-    const LinkSpec link = machine.has_nvlink ? machine.nvlink : machine.pcie;
+    const LinkSpec link = ctx_->DegradedLink(
+        machine.has_nvlink ? machine.nvlink : machine.pcie, TrafficClass::kPeerGpu,
+        now);
     t += link.TransferSeconds(bytes_of(FeatureTier::kPeerGpu));
   }
   if (bytes_of(FeatureTier::kLocalCpu) > 0) {
-    t += machine.pcie.TransferSeconds(bytes_of(FeatureTier::kLocalCpu));
+    t += ctx_->DegradedLink(machine.pcie, TrafficClass::kLocalCpuGpu, now)
+             .TransferSeconds(bytes_of(FeatureTier::kLocalCpu));
   }
   if (bytes_of(FeatureTier::kRemoteCpu) > 0) {
-    t += cluster.network.TransferSeconds(bytes_of(FeatureTier::kRemoteCpu));
+    t += ctx_->DegradedLink(cluster.network, TrafficClass::kCrossMachine, now)
+             .TransferSeconds(bytes_of(FeatureTier::kRemoteCpu));
   }
   return t;
 }

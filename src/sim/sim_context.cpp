@@ -58,7 +58,7 @@ SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
   peak_bytes_.assign(n, 0);
 }
 
-std::int32_t SimContext::ObsPid() {
+std::int32_t SimContext::ObsPid() const {
   if (obs_pid_ < 0) {
     obs_pid_ = obs::Tracer::Global().RegisterSimTrack(
         std::to_string(cluster_.num_machines()) + "m x " +
@@ -89,6 +89,9 @@ void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
 }
 
 void SimContext::BarrierAll(Phase phase) {
+  if (poisoned_) {
+    throw BarrierPoisonedError("barrier poisoned: " + poison_reason_);
+  }
   const double target = MaxNow();
   const bool tracing = obs::TracingEnabled();
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
@@ -165,7 +168,17 @@ void SimContext::DebugCheckClockInvariant() const {
 
 double SimContext::ComputeSeconds(DeviceId dev, double flops) const {
   const DeviceSpec& spec = cluster_.device(dev);
-  return spec.kernel_launch_s + flops / spec.EffectiveFlops();
+  const double healthy = spec.kernel_launch_s + flops / spec.EffectiveFlops();
+  if (faults_.stragglers.empty()) return healthy;
+  const double t = clocks_[Check(dev)];
+  double factor = 1.0;
+  for (std::size_t i = 0; i < faults_.stragglers.size(); ++i) {
+    const StragglerFault& s = faults_.stragglers[i];
+    if (s.device != dev || !s.ActiveAt(t)) continue;
+    factor *= s.slowdown;
+    NoteStragglerObserved(i, dev, t);
+  }
+  return healthy * factor;
 }
 
 void SimContext::ChargeCompute(DeviceId dev, double flops) {
@@ -224,6 +237,110 @@ std::vector<DeviceId> SimContext::OomDevices() const {
 void SimContext::ResetMemory() {
   std::fill(persistent_bytes_.begin(), persistent_bytes_.end(), 0);
   std::fill(peak_bytes_.begin(), peak_bytes_.end(), 0);
+}
+
+// --- fault injection --------------------------------------------------------
+
+namespace {
+
+obs::Counter& FaultCounter(const char* name) {
+  return obs::Metrics::Global().counter(name);
+}
+
+}  // namespace
+
+void SimContext::InstallFaults(FaultPlan plan) {
+  faults_ = std::move(plan);
+  next_collective_fault_ = 0;
+  straggler_seen_.assign(faults_.stragglers.size(), 0);
+  link_seen_.assign(faults_.links.size(), 0);
+}
+
+void SimContext::NoteStragglerObserved(std::size_t fault_index, DeviceId dev,
+                                       double at_s) const {
+  if (straggler_seen_[fault_index]) return;
+  straggler_seen_[fault_index] = 1;
+  ++faults_observed_;
+  FaultCounter("fault.straggler.observed").Increment();
+  if (obs::TracingEnabled()) {
+    const StragglerFault& s = faults_.stragglers[fault_index];
+    obs::EmitSimSpan(ObsPid(), dev, at_s, at_s, "fault.straggler", "fault",
+                     {{"slowdown", s.slowdown, nullptr}});
+  }
+}
+
+void SimContext::NoteLinkObserved(std::size_t fault_index, double at_s) const {
+  if (link_seen_[fault_index]) return;
+  link_seen_[fault_index] = 1;
+  ++faults_observed_;
+  FaultCounter("fault.link.observed").Increment();
+  if (obs::TracingEnabled()) {
+    const LinkFault& l = faults_.links[fault_index];
+    obs::EmitSimSpan(ObsPid(), 0, at_s, at_s, "fault.link", "fault",
+                     {{"class", 0.0, ToString(static_cast<TrafficClass>(l.link_class))},
+                      {"bandwidth_factor", l.bandwidth_factor, nullptr}});
+  }
+}
+
+LinkSpec SimContext::DegradedLink(LinkSpec base, TrafficClass cls, double at_s) const {
+  if (faults_.links.empty()) return base;
+  const int c = static_cast<int>(cls);
+  for (std::size_t i = 0; i < faults_.links.size(); ++i) {
+    const LinkFault& l = faults_.links[i];
+    if (l.link_class != c || !l.ActiveAt(at_s)) continue;
+    base.bandwidth_bytes_per_s *= l.bandwidth_factor;
+    base.latency_s += l.extra_latency_s;
+    NoteLinkObserved(i, at_s);
+  }
+  return base;
+}
+
+LinkSpec SimContext::EffectiveLinkBetween(DeviceId a, DeviceId b) const {
+  const LinkSpec base = cluster_.LinkBetween(a, b);
+  if (faults_.links.empty()) return base;
+  const double t = std::max(clocks_[Check(a)], clocks_[Check(b)]);
+  return DegradedLink(base, ClassifyDeviceLink(a, b), t);
+}
+
+LinkSpec SimContext::EffectiveLinkToCpu(DeviceId dev, MachineId m) const {
+  const LinkSpec base = cluster_.LinkToCpu(dev, m);
+  if (faults_.links.empty()) return base;
+  return DegradedLink(base, ClassifyCpuLink(dev, m), clocks_[Check(dev)]);
+}
+
+std::optional<double> SimContext::CollectiveFailureFraction(std::int64_t call_bytes) {
+  APT_CHECK_GE(call_bytes, 0);
+  if (next_collective_fault_ < faults_.collectives.size()) {
+    const std::int64_t threshold =
+        faults_.collectives[next_collective_fault_].after_bytes;
+    if (threshold < collective_bytes_ + call_bytes) {
+      ++next_collective_fault_;
+      ++faults_observed_;
+      FaultCounter("fault.collective.injected").Increment();
+      // The collective completed the bytes up to the threshold, then died.
+      const double fraction =
+          call_bytes > 0
+              ? static_cast<double>(std::max<std::int64_t>(0, threshold - collective_bytes_)) /
+                    static_cast<double>(call_bytes)
+              : 0.0;
+      // Arm the next retry with the bytes that DID complete, so an identical
+      // retry passes this threshold (each fault fires exactly once).
+      collective_bytes_ += std::max<std::int64_t>(0, threshold - collective_bytes_);
+      return fraction;
+    }
+  }
+  collective_bytes_ += call_bytes;
+  return std::nullopt;
+}
+
+void SimContext::PoisonBarrier(const std::string& reason) {
+  poisoned_ = true;
+  poison_reason_ = reason;
+  FaultCounter("fault.barrier.poisoned").Increment();
+  if (obs::TracingEnabled()) {
+    const double t = MaxNow();
+    obs::EmitSimSpan(ObsPid(), 0, t, t, "fault.barrier_poisoned", "fault");
+  }
 }
 
 }  // namespace apt

@@ -10,12 +10,14 @@
 #include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/error.h"
 #include "core/types.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 #include "sim/hardware.h"
 
 namespace apt {
@@ -105,15 +107,67 @@ class SimContext {
   void DebugCheckClockInvariant() const;
 
   /// Trace pid of this context's simulated track (one lane per device),
-  /// registered with the global tracer on first use.
-  std::int32_t ObsPid();
+  /// registered with the global tracer on first use (const: lazy
+  /// registration is observability, not simulation state).
+  std::int32_t ObsPid() const;
 
   // --- compute cost helpers -------------------------------------------
 
   /// Time for `flops` of dense/sparse math on dev (one kernel launch).
+  /// Includes any active straggler slowdown from the installed fault plan.
   double ComputeSeconds(DeviceId dev, double flops) const;
   /// Advance dev by a compute of `flops`, attributed to kTrain.
   void ChargeCompute(DeviceId dev, double flops);
+
+  // --- fault injection --------------------------------------------------
+  //
+  // The plan is consumed deterministically: straggler factors apply inside
+  // ComputeSeconds, link degradation inside EffectiveLink*/DegradedLink
+  // (evaluated at the consuming devices' CURRENT virtual clocks), and
+  // collective faults inside the Communicator via CollectiveFailureFraction.
+  // With no plan installed — or an Empty() one — every path returns the
+  // exact same numbers as before this subsystem existed (asserted by the
+  // zero-fault-overhead tests).
+
+  /// Installs (replaces) the fault plan. Collective faults are re-armed.
+  void InstallFaults(FaultPlan plan);
+  const FaultPlan& faults() const { return faults_; }
+  bool HasFaults() const { return !faults_.Empty(); }
+
+  /// Cluster link for a device pair / CPU read, degraded by any active link
+  /// fault at the participants' current simulated time.
+  LinkSpec EffectiveLinkBetween(DeviceId a, DeviceId b) const;
+  LinkSpec EffectiveLinkToCpu(DeviceId dev, MachineId m) const;
+  /// Applies active link faults of `cls` to an externally chosen base link
+  /// at time `at_s` (FeatureStore tiers pick their own base links).
+  LinkSpec DegradedLink(LinkSpec base, TrafficClass cls, double at_s) const;
+
+  /// Called by the Communicator with each collective's total wire bytes
+  /// BEFORE charging time. If an armed CollectiveFault's threshold falls
+  /// within this call's byte range, the fault is consumed and the completed
+  /// fraction of the call (in [0,1)) is returned; the caller must charge
+  /// that fraction of the time, PoisonBarrier(), and throw CollectiveError.
+  /// Returns nullopt (and accumulates the bytes) when no fault fires.
+  std::optional<double> CollectiveFailureFraction(std::int64_t call_bytes);
+  /// Cumulative wire bytes of completed collectives (monotone; drives the
+  /// CollectiveFault thresholds).
+  std::int64_t CollectiveBytesDone() const { return collective_bytes_; }
+
+  /// Total fault activations observed so far (each straggler/link fault
+  /// counts once on first observation; each collective fault on firing).
+  std::int64_t FaultsObserved() const { return faults_observed_; }
+
+  // --- barrier poisoning ------------------------------------------------
+  //
+  // When a participant fails inside a collective, its peers must not be
+  // left silently blocked (the deadlock a real NCCL abort causes). The
+  // failing path poisons the barrier; every subsequent BarrierAll throws
+  // BarrierPoisonedError until recovery clears the poison.
+
+  void PoisonBarrier(const std::string& reason);
+  bool BarrierPoisoned() const { return poisoned_; }
+  const std::string& PoisonReason() const { return poison_reason_; }
+  void ClearBarrierPoison() { poisoned_ = false; poison_reason_.clear(); }
 
   // --- traffic ----------------------------------------------------------
 
@@ -149,6 +203,12 @@ class SimContext {
   void AdvanceInternal(DeviceId dev, double dt, Phase phase, const char* label,
                        std::initializer_list<obs::TraceArg> args, bool comm);
 
+  /// One-shot fault.* metric + trace emission when a straggler/link fault is
+  /// first seen active (const: observation does not change simulation state).
+  void NoteStragglerObserved(std::size_t fault_index, DeviceId dev,
+                             double at_s) const;
+  void NoteLinkObserved(std::size_t fault_index, double at_s) const;
+
   ClusterSpec cluster_;
   std::vector<double> clocks_;
   std::vector<std::array<double, kNumPhases>> phase_time_;
@@ -157,7 +217,16 @@ class SimContext {
       traffic_bytes_{};
   std::vector<std::int64_t> persistent_bytes_;
   std::vector<std::int64_t> peak_bytes_;
-  std::int32_t obs_pid_ = -1;  ///< lazily registered trace track
+  mutable std::int32_t obs_pid_ = -1;  ///< lazily registered trace track
+
+  FaultPlan faults_;
+  std::size_t next_collective_fault_ = 0;  ///< index into faults_.collectives
+  std::int64_t collective_bytes_ = 0;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+  mutable std::int64_t faults_observed_ = 0;
+  mutable std::vector<std::uint8_t> straggler_seen_;  ///< per-fault flags
+  mutable std::vector<std::uint8_t> link_seen_;
 };
 
 }  // namespace apt

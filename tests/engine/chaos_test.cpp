@@ -1,0 +1,288 @@
+// Chaos regression tests: seeded fault scenarios (straggler GPU, flapping
+// link, mid-epoch collective failure) against the full training stack.
+// The invariants, per scenario:
+//   (a) training completes (retry/backoff absorbs collective failures),
+//   (b) the learned model is IDENTICAL to the fault-free run — faults
+//       inflate simulated time, never the arithmetic,
+//   (c) fault.* / retry.* observability counters record the activity,
+//   (d) the whole run is bit-reproducible for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apt/resilience.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::MakeTrainer;
+using ::apt::testing::MaxParamDiff;
+using ::apt::testing::SmallDataset;
+
+std::int64_t Counter(const char* name) {
+  return obs::Metrics::Global().counter(name).Get();
+}
+
+/// A trainer over the shared small dataset with the given fault plan
+/// installed (chunked seeds so runs with different plans stay comparable).
+std::unique_ptr<ParallelTrainer> ChaosTrainer(const Dataset& ds,
+                                              const FaultPlan& plan,
+                                              RecoveryOptions recovery = {}) {
+  auto trainer = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kGDP,
+                             ModelKind::kSage, /*force_chunked=*/true, 1 << 20,
+                             {5, 5}, 128, 0, recovery);
+  trainer->sim().InstallFaults(plan);
+  return trainer;
+}
+
+TEST(ChaosTest, StragglerInflatesTimeButNotLoss) {
+  const Dataset ds = SmallDataset();
+  auto clean = ChaosTrainer(ds, FaultPlan{});
+
+  FaultPlan plan;
+  plan.stragglers.push_back(
+      {.device = 1, .start_s = 0.0, .end_s = 1e9, .slowdown = 5.0});
+  const std::int64_t observed0 = Counter("fault.straggler.observed");
+  auto chaotic = ChaosTrainer(ds, plan);
+
+  const EpochStats a = clean->TrainEpoch(0);
+  const EpochStats b = chaotic->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);  // arithmetic untouched
+  EXPECT_EQ(MaxParamDiff(clean->model0(), chaotic->model0()), 0.0);
+  EXPECT_GT(b.sim_seconds, a.sim_seconds);  // the straggler costs time
+  EXPECT_GE(Counter("fault.straggler.observed") - observed0, 1);
+  EXPECT_GE(chaotic->sim().FaultsObserved(), 1);
+}
+
+TEST(ChaosTest, FlappingLinkInflatesTimeButNotLoss) {
+  const Dataset ds = SmallDataset();
+  auto clean = ChaosTrainer(ds, FaultPlan{});
+
+  // Heavily degraded peer-GPU link, flapping at 0.1 ms with 90% duty: hits
+  // the ring allreduce and peer-cache reads many times per epoch.
+  FaultPlan plan;
+  plan.links.push_back({.link_class = static_cast<int>(TrafficClass::kPeerGpu),
+                        .start_s = 0.0,
+                        .end_s = 1e9,
+                        .bandwidth_factor = 0.05,
+                        .extra_latency_s = 0.0,
+                        .flap_period_s = 1e-4,
+                        .flap_duty = 0.9});
+  const std::int64_t observed0 = Counter("fault.link.observed");
+  auto chaotic = ChaosTrainer(ds, plan);
+
+  const EpochStats a = clean->TrainEpoch(0);
+  const EpochStats b = chaotic->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  EXPECT_EQ(MaxParamDiff(clean->model0(), chaotic->model0()), 0.0);
+  EXPECT_GT(b.sim_seconds, a.sim_seconds);
+  EXPECT_GE(Counter("fault.link.observed") - observed0, 1);
+}
+
+TEST(ChaosTest, CollectiveFailureIsRetriedToTheSameModel) {
+  const Dataset ds = SmallDataset();
+  auto clean = ChaosTrainer(ds, FaultPlan{});
+
+  // One training step moves ~7.4KB of allreduce wire bytes: the first fault
+  // fires on the initial attempt, the second mid-way through its retry, so
+  // a single step absorbs two consecutive failures.
+  FaultPlan plan;
+  plan.collectives.push_back({.after_bytes = 1000});
+  plan.collectives.push_back({.after_bytes = 8000});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  const std::int64_t attempts0 = Counter("retry.collective.attempts");
+  const std::int64_t injected0 = Counter("fault.collective.injected");
+  auto chaotic = ChaosTrainer(ds, plan, recovery);
+
+  const EpochStats a = clean->TrainEpoch(0);
+  const EpochStats b = chaotic->TrainEpoch(0);
+  // Retried steps re-fork the same rng stream: the run is bit-identical to
+  // the undisturbed one, only slower (failed fraction + backoff).
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  EXPECT_EQ(MaxParamDiff(clean->model0(), chaotic->model0()), 0.0);
+  EXPECT_GT(b.sim_seconds, a.sim_seconds);
+
+  const RecoveryStats& rs = chaotic->recovery_stats();
+  EXPECT_EQ(rs.collective_failures, 2);
+  EXPECT_EQ(rs.retries, 2);
+  EXPECT_EQ(rs.giveups, 0);
+  EXPECT_EQ(Counter("retry.collective.attempts") - attempts0, 2);
+  EXPECT_EQ(Counter("fault.collective.injected") - injected0, 2);
+}
+
+TEST(ChaosTest, CollectiveFailureWithoutRetryPropagates) {
+  const Dataset ds = SmallDataset();
+  FaultPlan plan;
+  plan.collectives.push_back({.after_bytes = 0});
+  const std::int64_t giveups0 = Counter("retry.collective.giveups");
+  auto chaotic = ChaosTrainer(ds, plan);  // retries disabled by default
+  EXPECT_THROW(chaotic->TrainEpoch(0), CollectiveError);
+  EXPECT_EQ(Counter("retry.collective.giveups") - giveups0, 1);
+  EXPECT_EQ(chaotic->recovery_stats().giveups, 1);
+}
+
+TEST(ChaosTest, RetryBudgetExhaustionRethrows) {
+  const Dataset ds = SmallDataset();
+  // More consecutive faults on the same step than the retry budget allows:
+  // thresholds at 0 bytes fire on the first collective of every attempt.
+  FaultPlan plan;
+  for (int i = 0; i < 5; ++i) plan.collectives.push_back({.after_bytes = 0});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  recovery.max_retries_per_step = 3;
+  auto chaotic = ChaosTrainer(ds, plan, recovery);
+  EXPECT_THROW(chaotic->TrainEpoch(0), CollectiveError);
+  const RecoveryStats& rs = chaotic->recovery_stats();
+  EXPECT_EQ(rs.retries, 3);
+  EXPECT_EQ(rs.giveups, 1);
+}
+
+TEST(ChaosTest, StepTimeoutsAreDetected) {
+  const Dataset ds = SmallDataset();
+  RecoveryOptions recovery;
+  recovery.step_timeout_s = 1e-12;  // every step exceeds this
+  const std::int64_t timeouts0 = Counter("fault.step_timeouts");
+  auto trainer = ChaosTrainer(ds, FaultPlan{}, recovery);
+  trainer->TrainEpoch(0);
+  EXPECT_EQ(trainer->recovery_stats().step_timeouts, trainer->StepsPerEpoch());
+  EXPECT_EQ(Counter("fault.step_timeouts") - timeouts0, trainer->StepsPerEpoch());
+}
+
+TEST(ChaosTest, ZeroFaultInjectionHasZeroOverhead) {
+  // The acceptance bar for the whole subsystem: with no faults installed
+  // (or an empty plan), every simulated quantity is BIT-identical to the
+  // pre-fault-layer arithmetic — not "within 1%", exactly equal.
+  const Dataset ds = SmallDataset();
+  auto plain = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kGDP);
+  auto empty_plan = ChaosTrainer(ds, FaultPlan{});
+  const EpochStats a = plain->TrainEpoch(0);
+  const EpochStats b = empty_plan->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_DOUBLE_EQ(a.comm_train_seconds, b.comm_train_seconds);
+  EXPECT_EQ(MaxParamDiff(plain->model0(), empty_plan->model0()), 0.0);
+}
+
+TEST(ChaosTest, SeededChaosIsBitReproducibleAndTraced) {
+  const Dataset ds = SmallDataset();
+  // Default seed 7; override with APT_CHAOS_SEED=<n> to explore other
+  // schedules (any seed must satisfy the same invariants).
+  std::uint64_t seed = 7;
+  if (const char* env = std::getenv("APT_CHAOS_SEED")) {
+    seed = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  FaultPlan plan = RandomFaultPlan(seed, SingleMachineCluster(4),
+                                   /*horizon_s=*/1.0, /*intensity=*/1.0);
+  // Random fault windows may fall beyond this tiny epoch's simulated span;
+  // pin one always-on straggler so a fault.* span is guaranteed to appear.
+  plan.stragglers.push_back(
+      {.device = 0, .start_s = 0.0, .end_s = 1e9, .slowdown = 2.0});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+
+  obs::SetTracingEnabled(true);
+  obs::Tracer::Global().Clear();
+  auto run1 = ChaosTrainer(ds, plan, recovery);
+  const EpochStats s1 = run1->TrainEpoch(0);
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().Drain();
+  obs::SetTracingEnabled(false);
+
+  // The Perfetto stream must carry the fault story: fault.* slices in the
+  // "fault" category on the simulated lanes.
+  bool saw_fault_span = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.cat != nullptr && std::string(e.cat) == "fault" && e.name != nullptr &&
+        std::string(e.name).rfind("fault.", 0) == 0) {
+      saw_fault_span = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_fault_span);
+
+  auto run2 = ChaosTrainer(ds, plan, recovery);
+  const EpochStats s2 = run2->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(s1.loss, s2.loss);
+  EXPECT_DOUBLE_EQ(s1.sim_seconds, s2.sim_seconds);
+  EXPECT_DOUBLE_EQ(s1.wall_seconds, s2.wall_seconds);
+  EXPECT_EQ(MaxParamDiff(run1->model0(), run2->model0()), 0.0);
+  EXPECT_EQ(run1->recovery_stats().retries, run2->recovery_stats().retries);
+}
+
+TEST(ChaosTest, ResilientRunnerSurvivesAndReplans) {
+  // The ISSUE's acceptance scenario: straggler + flapping link + a mid-run
+  // collective failure, driven through the full Plan -> Run workflow. The
+  // run must complete, re-plan at least once (re-confirming or switching),
+  // keep the loss on the fault-free trajectory, and be bit-reproducible.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  ModelConfig model;
+  model.kind = ModelKind::kSage;
+  model.num_layers = 2;
+  model.hidden_dim = 16;
+  EngineOptions opts;
+  opts.fanouts = {3, 3};
+  opts.batch_size_per_device = 64;
+  opts.cache_bytes_per_device = 1 << 20;
+
+  ResilienceOptions chaos;
+  chaos.faults.stragglers.push_back(
+      {.device = 0, .start_s = 0.0, .end_s = 1e9, .slowdown = 3.0});
+  chaos.faults.links.push_back(
+      {.link_class = static_cast<int>(TrafficClass::kPeerGpu),
+       .start_s = 0.0,
+       .end_s = 1e9,
+       .bandwidth_factor = 0.2,
+       .extra_latency_s = 0.0,
+       .flap_period_s = 1e-4,
+       .flap_duty = 0.5});
+  chaos.faults.collectives.push_back({.after_bytes = 2000});
+  chaos.recovery.retry_collectives = true;
+
+  const std::int64_t replans0 = Counter("replan.count");
+  AptSystem faulty(ds, cluster, model, opts);
+  ResilientRunner runner(faulty, chaos);
+  const ResilienceReport report = runner.Run(3);
+
+  ASSERT_EQ(report.epochs.size(), 3u);
+  ASSERT_EQ(report.strategy_per_epoch.size(), 3u);
+  EXPECT_GE(report.replans, 1);  // degradation was seen and re-evaluated
+  EXPECT_GE(Counter("replan.count") - replans0, 1);
+  EXPECT_GE(report.recovery.collective_failures, 1);
+  EXPECT_GE(report.recovery.retries, 1);
+  EXPECT_EQ(report.recovery.giveups, 0);
+  EXPECT_GT(report.final_sim_seconds, 0.0);
+
+  // Loss continuity: the chaos run's learning curve tracks the fault-free
+  // run (bit-identical without a strategy switch; within the Fig 6 parity
+  // tolerance if the re-planner switched strategies mid-run).
+  AptSystem fault_free(ds, cluster, model, opts);
+  const std::vector<EpochStats> clean = fault_free.Run(3);
+  for (std::size_t e = 0; e < clean.size(); ++e) {
+    EXPECT_NEAR(clean[e].loss, report.epochs[e].loss, 5e-3) << "epoch " << e;
+  }
+
+  // Bit-reproducibility of the entire chaotic workflow under the same seed.
+  AptSystem faulty2(ds, cluster, model, opts);
+  ResilientRunner runner2(faulty2, chaos);
+  const ResilienceReport report2 = runner2.Run(3);
+  ASSERT_EQ(report2.epochs.size(), report.epochs.size());
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(report.epochs[e].loss, report2.epochs[e].loss);
+    EXPECT_DOUBLE_EQ(report.epochs[e].sim_seconds, report2.epochs[e].sim_seconds);
+    EXPECT_EQ(report.strategy_per_epoch[e], report2.strategy_per_epoch[e]);
+  }
+  EXPECT_EQ(report.replans, report2.replans);
+  EXPECT_EQ(report.switches, report2.switches);
+  EXPECT_DOUBLE_EQ(report.final_sim_seconds, report2.final_sim_seconds);
+}
+
+}  // namespace
+}  // namespace apt

@@ -10,6 +10,7 @@ namespace apt {
 namespace {
 
 using ::apt::testing::MakeTrainer;
+using ::apt::testing::MaxParamDiff;
 using ::apt::testing::SmallDataset;
 
 struct SweepParam {
@@ -25,17 +26,6 @@ struct SweepParam {
 };
 
 class EquivalenceSweep : public ::testing::TestWithParam<SweepParam> {};
-
-double MaxParamDiff(GnnModel& a, GnnModel& b) {
-  const auto pa = a.Params();
-  const auto pb = b.Params();
-  double worst = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    worst = std::max(worst,
-                     static_cast<double>(MaxAbsDiff(pa[i]->value, pb[i]->value)));
-  }
-  return worst;
-}
 
 TEST_P(EquivalenceSweep, AllStrategiesMatchGdp) {
   const SweepParam p = GetParam();

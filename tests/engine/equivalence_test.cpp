@@ -11,20 +11,8 @@ namespace apt {
 namespace {
 
 using ::apt::testing::MakeTrainer;
+using ::apt::testing::MaxParamDiff;
 using ::apt::testing::SmallDataset;
-
-/// Max relative parameter difference between two trained replicas.
-double MaxParamDiff(GnnModel& a, GnnModel& b) {
-  const auto pa = a.Params();
-  const auto pb = b.Params();
-  EXPECT_EQ(pa.size(), pb.size());
-  double worst = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    worst = std::max(worst,
-                     static_cast<double>(MaxAbsDiff(pa[i]->value, pb[i]->value)));
-  }
-  return worst;
-}
 
 class EquivalenceTest : public ::testing::TestWithParam<Strategy> {};
 

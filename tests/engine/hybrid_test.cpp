@@ -8,6 +8,7 @@
 namespace apt {
 namespace {
 
+using ::apt::testing::MaxParamDiff;
 using ::apt::testing::SmallDataset;
 
 std::unique_ptr<ParallelTrainer> HybridTrainer(const Dataset& ds,
@@ -40,17 +41,6 @@ std::unique_ptr<ParallelTrainer> HybridTrainer(const Dataset& ds,
   setup.cache = dry.caches[static_cast<std::size_t>(Strategy::kSNP)];
   setup.feature_placement = FeaturePlacementFromPartition(setup.partition, cluster);
   return std::make_unique<ParallelTrainer>(ds, std::move(setup));
-}
-
-double MaxParamDiff(GnnModel& a, GnnModel& b) {
-  const auto pa = a.Params();
-  const auto pb = b.Params();
-  double worst = 0.0;
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    worst = std::max(worst,
-                     static_cast<double>(MaxAbsDiff(pa[i]->value, pb[i]->value)));
-  }
-  return worst;
 }
 
 class HybridTest : public ::testing::TestWithParam<ModelKind> {};

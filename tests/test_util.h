@@ -1,6 +1,9 @@
 // Shared fixtures and helpers for the APT test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "graph/dataset.h"
 #include "partition/partitioner.h"
 #include "sim/hardware.h"
+#include "tensor/ops.h"
 
 namespace apt::testing {
 
@@ -36,7 +40,8 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
     const Dataset& ds, const ClusterSpec& cluster, Strategy strategy,
     ModelKind kind = ModelKind::kSage, bool force_chunked = true,
     std::int64_t cache_bytes = 1 << 20, std::vector<int> fanouts = {5, 5},
-    std::int64_t batch = 128, std::int64_t hidden = 0) {
+    std::int64_t batch = 128, std::int64_t hidden = 0,
+    RecoveryOptions recovery = {}) {
   ModelConfig model;
   model.kind = kind;
   model.num_layers = static_cast<int>(fanouts.size());
@@ -52,6 +57,7 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
   opts.cache_bytes_per_device = cache_bytes;
   opts.seed_assignment = force_chunked ? SeedAssignment::kChunked
                                        : EngineOptions::DefaultAssignment(strategy);
+  opts.recovery = recovery;
 
   MultilevelPartitioner part;
   std::vector<PartId> partition = part.Partition(ds.graph, cluster.num_devices());
@@ -65,6 +71,45 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
   setup.cache = dry.caches[static_cast<std::size_t>(strategy)];
   setup.feature_placement = FeaturePlacementFromPartition(setup.partition, cluster);
   return std::make_unique<ParallelTrainer>(ds, std::move(setup));
+}
+
+/// Max absolute parameter difference between two trained replicas.
+inline double MaxParamDiff(GnnModel& a, GnnModel& b) {
+  const auto pa = a.Params();
+  const auto pb = b.Params();
+  EXPECT_EQ(pa.size(), pb.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(pa.size(), pb.size()); ++i) {
+    worst = std::max(worst,
+                     static_cast<double>(MaxAbsDiff(pa[i]->value, pb[i]->value)));
+  }
+  return worst;
+}
+
+/// The Fig 6 strategy-equivalence property on one configuration: NFP, SNP,
+/// and DNP trained on IDENTICAL mini-batches (chunked assignment) match
+/// GDP's loss within `loss_tol` and parameters within `param_tol` after
+/// `epochs` epochs. float32 accumulation-order noise bounds the tolerances
+/// away from zero.
+inline void ExpectStrategyParity(const Dataset& ds, const ClusterSpec& cluster,
+                                 std::vector<int> fanouts, std::int64_t batch,
+                                 std::int64_t hidden, int epochs = 1,
+                                 double loss_tol = 1e-3, double param_tol = 2e-3) {
+  auto ref = MakeTrainer(ds, cluster, Strategy::kGDP, ModelKind::kSage,
+                         /*force_chunked=*/true, 1 << 18, fanouts, batch, hidden);
+  std::vector<EpochStats> ref_stats;
+  for (int e = 0; e < epochs; ++e) ref_stats.push_back(ref->TrainEpoch(e));
+  for (Strategy s : {Strategy::kNFP, Strategy::kSNP, Strategy::kDNP}) {
+    auto alt = MakeTrainer(ds, cluster, s, ModelKind::kSage,
+                           /*force_chunked=*/true, 1 << 18, fanouts, batch, hidden);
+    for (int e = 0; e < epochs; ++e) {
+      const EpochStats alt_stats = alt->TrainEpoch(e);
+      EXPECT_NEAR(ref_stats[static_cast<std::size_t>(e)].loss, alt_stats.loss,
+                  loss_tol)
+          << ToString(s) << " epoch " << e;
+    }
+    EXPECT_LT(MaxParamDiff(ref->model0(), alt->model0()), param_tol) << ToString(s);
+  }
 }
 
 }  // namespace apt::testing
