@@ -125,8 +125,10 @@ int BenchFinish() {
     std::ofstream os(run.records_out);
     obs::JsonWriter w(os);
     w.BeginObject();
+    w.KV("schema_version", obs::kObsSchemaVersion);
     w.Key("meta");
     w.BeginObject();
+    w.KV("kind", "bench_records");
     w.KV("bench", run.name);
     w.KV("git_sha", APT_GIT_SHA);
     w.KV("build_type", APT_BUILD_TYPE);

@@ -45,10 +45,16 @@ void BM_AllToAllTensors(benchmark::State& state) {
       row.emplace_back(state.range(0), 32);
     }
   }
+  const double sim0 = sim.MaxNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(comm.AllToAllTensors(parts, Phase::kTrain));
   }
   state.SetBytesProcessed(state.iterations() * c * c * state.range(0) * 32 * 4);
+  // Simulated cost per collective: pure cost-model arithmetic, so this
+  // counter is bit-identical across machines — the perf gate's tight metric
+  // (wall time_ns gets the loose machine-dependent tolerance).
+  state.counters["sim_seconds_per_op"] =
+      (sim.MaxNow() - sim0) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_AllToAllTensors)->Arg(256)->Arg(2048);
 
@@ -58,6 +64,7 @@ void BM_AllReduce(benchmark::State& state) {
   Communicator comm(sim);
   std::vector<Tensor> bufs(static_cast<std::size_t>(c),
                            Tensor(state.range(0), 32));
+  const double sim0 = sim.MaxNow();
   for (auto _ : state) {
     std::vector<Tensor*> ptrs;
     for (auto& b : bufs) ptrs.push_back(&b);
@@ -65,6 +72,8 @@ void BM_AllReduce(benchmark::State& state) {
     benchmark::DoNotOptimize(bufs[0].data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0) * 32 * 4);
+  state.counters["sim_seconds_per_op"] =
+      (sim.MaxNow() - sim0) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_AllReduce)->Arg(1024)->Arg(8192);
 
@@ -87,6 +96,12 @@ void BM_DryRunPlanner(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(MakePlan(ds, cluster, partition, opts, model));
   }
+  // The planner's chosen comparable time is deterministic (dry-run volumes
+  // over modeled bandwidths): a cost-model drift shows up here even when the
+  // planner itself got neither faster nor slower.
+  const PlanReport plan = MakePlan(ds, cluster, partition, opts, model);
+  state.counters["sim_selected_comparable_s"] =
+      plan.estimates[static_cast<std::size_t>(plan.selected)].Comparable();
 }
 BENCHMARK(BM_DryRunPlanner)->Unit(benchmark::kMillisecond);
 

@@ -1,6 +1,7 @@
 #include "apt/cost_model.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "core/logging.h"
@@ -126,6 +127,46 @@ std::string FormatEstimate(const CostEstimate& e) {
   os << ToString(e.strategy) << ": build=" << e.t_build << "s load=" << e.t_load
      << "s shuffle=" << e.t_shuffle << "s (comparable " << e.Comparable() << "s)"
      << (e.feasible ? "" : " [OOM]");
+  return os.str();
+}
+
+std::string FormatResidualReport(const CostEstimate& e,
+                                 const obs::TraceAnalysis& measured) {
+  const auto phase = [&measured](const char* cat) {
+    const auto it = measured.phase_max_s.find(cat);
+    return it == measured.phase_max_s.end() ? 0.0 : it->second;
+  };
+  const auto comm = [&measured](const char* cat) {
+    const auto it = measured.comm_max_s.find(cat);
+    return it == measured.comm_max_s.end() ? 0.0 : it->second;
+  };
+  struct Row {
+    const char* term;
+    double predicted;
+    double seen;
+  };
+  const Row rows[] = {
+      {"t_build (sample)", e.t_build, phase("sample")},
+      {"t_load (load)", e.t_load, phase("load")},
+      {"t_shuffle (train comm)", e.t_shuffle, comm("train")},
+      {"comparable", e.Comparable(), measured.ComparableSeconds()},
+  };
+  std::ostringstream os;
+  os << "### Cost-model residuals: " << ToString(e.strategy);
+  if (!measured.strategy.empty() && measured.strategy != ToString(e.strategy)) {
+    os << " (trace labeled " << measured.strategy << ")";
+  }
+  os << "\n\n| term | predicted_s | measured_s | residual_s | rel |\n"
+     << "|---|---:|---:|---:|---:|\n";
+  for (const Row& row : rows) {
+    const double residual = row.seen - row.predicted;
+    const double rel = row.predicted > 0.0 ? residual / row.predicted : 0.0;
+    os << "| " << row.term << " | " << row.predicted << " | " << row.seen << " | "
+       << residual << " | ";
+    os << std::fixed << std::setprecision(1) << rel * 100.0 << "% |\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
   return os.str();
 }
 

@@ -12,6 +12,7 @@
 
 #include "apt/dryrun.h"
 #include "core/types.h"
+#include "obs/analysis.h"
 
 namespace apt {
 
@@ -48,5 +49,14 @@ std::array<CostEstimate, kNumStrategies> ReestimateWithProfile(
 Strategy SelectStrategy(const std::array<CostEstimate, kNumStrategies>& estimates);
 
 std::string FormatEstimate(const CostEstimate& e);
+
+/// Compares a planner estimate against what a traced run actually measured
+/// (one TraceAnalysis from obs::AnalyzeEvents/AnalyzeTraceFile): t_build vs
+/// the sample-phase maximum, t_load vs the load-phase maximum, t_shuffle vs
+/// the train-phase communication maximum, plus the comparable totals. The
+/// returned markdown table is the cost model's residual report — the drift
+/// diagnostic that shows which term went stale when a plan underperforms.
+std::string FormatResidualReport(const CostEstimate& e,
+                                 const obs::TraceAnalysis& measured);
 
 }  // namespace apt

@@ -3,6 +3,7 @@
 #include "apt/cost_model.h"
 #include "comm/profiler.h"
 #include "core/logging.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace apt {
@@ -76,6 +77,8 @@ void ResilientRunner::MaybeReplan(ResilienceReport& report) {
                << cur_cost << "s -> " << new_cost << "s predicted)";
   ++report.switches;
   obs::Metrics::Global().counter("replan.switches").Increment();
+  obs::Flight().Record("replan", ToString(candidate), now,
+                       {{"improvement", (cur_cost - new_cost) / cur_cost, nullptr}});
   std::unique_ptr<ParallelTrainer> next =
       system_->MakeTrainer(candidate, pinned_assignment_);
   // Carry the training state (parameters; Sgd is stateless) and the fault

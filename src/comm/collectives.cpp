@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "tensor/ops.h"
 
@@ -127,9 +128,14 @@ LinkSpec Communicator::RingBottleneck() const {
 
 void Communicator::MaybeFailCollective(std::int64_t wire_bytes,
                                        const std::vector<double>& busy, Phase phase,
-                                       const char* label) {
+                                       const char* label,
+                                       const char* traffic_class) {
   const std::optional<double> fraction = ctx_->CollectiveFailureFraction(wire_bytes);
   if (!fraction.has_value()) return;
+  obs::Flight().Record("collective.fail", label, ctx_->MaxNow(),
+                       {{"bytes", static_cast<double>(wire_bytes), nullptr},
+                        {"fraction", *fraction, nullptr},
+                        {"class", 0.0, traffic_class}});
   // The call dies part-way through: every participant has burned the
   // completed fraction of its busy time, nothing was delivered.
   for (std::size_t d = 0; d < busy.size(); ++d) {
@@ -173,7 +179,13 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
     busy[i] = std::max(egress, ingress);
     total_bytes += egress_bytes[i];
   }
-  MaybeFailCollective(total_bytes, busy, phase, "alltoall");
+  // Flight/failure attribution uses the coarse link class of the collective
+  // as a whole (point-to-point pairs span classes; cross-machine dominates
+  // whenever the cluster has more than one machine).
+  const char* a2a_class =
+      ToString(ctx_->cluster().num_machines() > 1 ? TrafficClass::kCrossMachine
+                                                  : TrafficClass::kPeerGpu);
+  MaybeFailCollective(total_bytes, busy, phase, "alltoall", a2a_class);
   for (std::size_t i = 0; i < c; ++i) {
     for (std::size_t j = 0; j < c; ++j) {
       if (i != j && bytes[i][j] > 0) {
@@ -189,6 +201,10 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
   }
   AllToAllMetrics().calls.Increment();
   AllToAllMetrics().bytes.Add(total_bytes);
+  obs::Flight().Record("collective", "alltoall", ctx_->MaxNow(),
+                       {{"bytes", static_cast<double>(total_bytes), nullptr},
+                        {"participants", static_cast<double>(c), nullptr},
+                        {"class", 0.0, a2a_class}});
   ctx_->BarrierAll(phase);
 }
 
@@ -206,14 +222,14 @@ void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase pha
                         static_cast<double>(total_bytes);
   const double t = static_cast<double>(c - 1) * bottleneck.latency_s +
                    volume / bottleneck.bandwidth_bytes_per_s;
-  MaybeFailCollective(static_cast<std::int64_t>(volume),
-                      std::vector<double>(static_cast<std::size_t>(c), t), phase,
-                      label);
   // Traffic accounting: each byte crosses C-1 hops in a ring; classify by the
   // bottleneck hop for reporting purposes.
   const bool cross = ctx_->cluster().num_machines() > 1;
   const char* cls =
       ToString(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu);
+  MaybeFailCollective(static_cast<std::int64_t>(volume),
+                      std::vector<double>(static_cast<std::size_t>(c), t), phase,
+                      label, cls);
   // Every device is busy for the whole ring schedule.
   for (DeviceId d = 0; d < c; ++d) {
     ctx_->AdvanceComm(d, t, phase, label,
@@ -224,6 +240,10 @@ void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase pha
   metrics.bytes.Add(static_cast<std::int64_t>(volume));
   ctx_->CountTraffic(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu,
                      static_cast<std::int64_t>(volume));
+  obs::Flight().Record("collective", label, ctx_->MaxNow(),
+                       {{"bytes", static_cast<double>(total_bytes), nullptr},
+                        {"participants", static_cast<double>(c), nullptr},
+                        {"class", 0.0, cls}});
   ctx_->BarrierAll(phase);
 }
 

@@ -170,9 +170,12 @@ class Communicator {
                   const char* label);
   /// Consults the fault plan with this call's wire bytes. On a hit: charges
   /// each device the completed fraction of busy[d] (as comm time, traced
-  /// "fault.collective"), poisons the barrier, and throws CollectiveError.
+  /// "fault.collective"), records the failing call in the flight recorder
+  /// (with its bytes and `traffic_class`), poisons the barrier, and throws
+  /// CollectiveError.
   void MaybeFailCollective(std::int64_t wire_bytes, const std::vector<double>& busy,
-                           Phase phase, const char* label);
+                           Phase phase, const char* label,
+                           const char* traffic_class);
 
   SimContext* ctx_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "engine/exec_common.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/neighbor_sampler.h"
@@ -130,11 +131,19 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
         s = executor_->Step(batches);
         AllReduceGradients(ctx_);
         break;
-      } catch (const FaultError&) {
+      } catch (const FaultError& e) {
         ++recovery_stats_.collective_failures;
         if (!rec.retry_collectives || attempt >= rec.max_retries_per_step) {
           ++recovery_stats_.giveups;
           obs::Metrics::Global().counter("retry.collective.giveups").Increment();
+          // The fault is about to escape the trainer: preserve the last few
+          // hundred flight events (including the failing collective's bytes
+          // and class) for the post-mortem before unwinding.
+          obs::Flight().Record("giveup", ToString(setup_.engine.strategy),
+                               sim_->MaxNow(),
+                               {{"attempts", static_cast<double>(attempt + 1), nullptr},
+                                {"step", static_cast<double>(step), nullptr}});
+          obs::Flight().DumpOnFault(std::string("retry budget exhausted: ") + e.what());
           throw;
         }
         ++recovery_stats_.retries;
@@ -143,6 +152,9 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
         // Every device sits out the (exponential, simulated) backoff, then
         // re-enters the step together.
         const double backoff = rec.backoff_base_s * static_cast<double>(1 << attempt);
+        obs::Flight().Record("retry", "collective", sim_->MaxNow(),
+                             {{"attempt", static_cast<double>(attempt + 1), nullptr},
+                              {"backoff_s", backoff, nullptr}});
         for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
           sim_->AdvanceLabeled(d, backoff, Phase::kTrain, "retry.backoff",
                                {{"attempt", static_cast<double>(attempt + 1), nullptr}});
@@ -162,6 +174,17 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
       sim_->ChargeCompute(d, 2.0 * static_cast<double>(models_[0]->ParamBytes()) / 4);
     }
+    // Simulated-domain step marker on the track's dedicated marker lane:
+    // delimits the step for the trace analyzer (latency percentiles) and
+    // labels the track with its strategy.
+    if (obs::TracingEnabled()) {
+      obs::EmitSimSpan(sim_->ObsPid(), sim_->ObsStepLane(), step_wall0,
+                       sim_->MaxNow(), "step", "engine",
+                       {{"step", static_cast<double>(step), nullptr},
+                        {"strategy", 0.0, ToString(setup_.engine.strategy)}});
+    }
+    obs::Flight().Record("step", ToString(setup_.engine.strategy), sim_->MaxNow(),
+                         {{"step", static_cast<double>(step), nullptr}});
     loss += s.loss;
     correct += s.correct;
     seeds_done += s.num_seeds;
@@ -188,6 +211,14 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   stats.wall_seconds = sim_->MaxNow() - t0;
   stats.comm_sample_seconds = sim_->CommMax(Phase::kSample) - comm0_sample;
   stats.comm_train_seconds = sim_->CommMax(Phase::kTrain) - comm0_train;
+  if (obs::TracingEnabled()) {
+    obs::EmitSimSpan(sim_->ObsPid(), sim_->ObsStepLane(), t0, sim_->MaxNow(),
+                     "epoch", "engine",
+                     {{"epoch", static_cast<double>(epoch), nullptr},
+                      {"strategy", 0.0, ToString(setup_.engine.strategy)}});
+  }
+  obs::Flight().Record("epoch", ToString(setup_.engine.strategy), sim_->MaxNow(),
+                       {{"epoch", static_cast<double>(epoch), nullptr}});
 
   auto& metrics = obs::Metrics::Global();
   metrics.counter("trainer.epochs").Increment();

@@ -80,6 +80,15 @@ void WriteChromeTraceJson(std::ostream& os, const std::vector<TraceEvent>& event
 
   JsonWriter w(os);
   w.BeginObject();
+  // Header object: lets the analyzer reject files it cannot interpret while
+  // Perfetto/chrome://tracing ignore the extra top-level members.
+  w.KV("schema_version", kObsSchemaVersion);
+  w.Key("meta");
+  w.BeginObject();
+  w.KV("generator", "apt::obs");
+  w.KV("kind", "trace");
+  w.KV("dropped_events", Tracer::Global().DroppedEvents());
+  w.EndObject();
   w.KV("displayTimeUnit", "ms");
   w.Key("traceEvents");
   w.BeginArray();
@@ -94,8 +103,7 @@ void WriteChromeTraceJson(std::ostream& os, const std::vector<TraceEvent>& event
                        "sim[" + std::to_string(track.pid) + "] " + track.label);
     WriteSortIndex(w, track.pid, sort++);
     for (std::int32_t lane = 0; lane < track.num_lanes; ++lane) {
-      WriteMetadataEvent(w, "thread_name", track.pid, lane,
-                         "gpu" + std::to_string(lane));
+      WriteMetadataEvent(w, "thread_name", track.pid, lane, track.LaneName(lane));
     }
   }
   for (const TraceEvent* e : sorted) WriteEvent(w, *e);

@@ -1,0 +1,169 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace apt::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked: worker threads may record during static destruction.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::Ring& FlightRecorder::LocalRing() {
+  thread_local Ring* local = nullptr;
+  if (local == nullptr) {
+    auto ring = std::make_unique<Ring>();
+    std::lock_guard<std::mutex> lock(mu_);
+    local = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  return *local;
+}
+
+void FlightRecorder::Record(const char* kind, const char* label, double sim_s,
+                            std::initializer_list<TraceArg> args) {
+  Ring& ring = LocalRing();
+  FlightEvent e;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.wall_us = Tracer::Global().RealNowUs();
+  e.sim_s = sim_s;
+  e.kind = kind;
+  e.label = label;
+  for (const TraceArg& a : args) {
+    if (e.num_args == kMaxTraceArgs) break;
+    e.args[static_cast<std::size_t>(e.num_args++)] = a;
+  }
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[ring.count % kRingCapacity] = e;
+  ++ring.count;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      const std::uint64_t kept = std::min<std::uint64_t>(ring->count, kRingCapacity);
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        out.push_back(ring->events[(ring->count - kept + i) % kRingCapacity]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void FlightRecorder::WriteJson(std::ostream& os, const std::string& reason) const {
+  const std::vector<FlightEvent> events = Snapshot();
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("schema_version", kObsSchemaVersion);
+  w.Key("meta");
+  w.BeginObject();
+  w.KV("generator", "apt::obs");
+  w.KV("kind", "flight");
+  w.EndObject();
+  w.KV("reason", reason);
+  w.KV("total_recorded", static_cast<std::int64_t>(TotalRecorded()));
+  w.KV("dropped", static_cast<std::int64_t>(Dropped()));
+  w.Key("events");
+  w.BeginArray();
+  for (const FlightEvent& e : events) {
+    w.BeginObject();
+    w.KV("seq", static_cast<std::int64_t>(e.seq));
+    w.KV("wall_us", e.wall_us);
+    if (e.sim_s >= 0.0) w.KV("sim_s", e.sim_s);
+    w.KV("kind", e.kind != nullptr ? e.kind : "?");
+    if (e.label != nullptr) w.KV("label", e.label);
+    if (e.num_args > 0) {
+      w.Key("args");
+      w.BeginObject();
+      for (int i = 0; i < e.num_args; ++i) {
+        const TraceArg& a = e.args[static_cast<std::size_t>(i)];
+        if (a.key == nullptr) continue;
+        if (a.str != nullptr) {
+          w.KV(a.key, a.str);
+        } else {
+          w.KV(a.key, a.num);
+        }
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+bool FlightRecorder::DumpFile(const std::string& path, const std::string& reason) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out, reason);
+  return static_cast<bool>(out);
+}
+
+std::string FlightRecorder::DumpOnFault(const std::string& reason) {
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  const std::uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = dump_dir() + "/flight_" + std::to_string(now_ms) + "_" +
+                           std::to_string(n) + ".json";
+  if (!DumpFile(path, reason)) return "";
+  Metrics::Global().counter("flight.dumps").Increment();
+  return path;
+}
+
+void FlightRecorder::SetDumpDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_dir_ = std::move(dir);
+}
+
+std::string FlightRecorder::dump_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_dir_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->count = 0;
+  }
+}
+
+std::int64_t FlightRecorder::RingsAllocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(rings_.size());
+}
+
+std::uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->count;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->count > kRingCapacity) dropped += ring->count - kRingCapacity;
+  }
+  return dropped;
+}
+
+}  // namespace apt::obs

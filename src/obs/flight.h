@@ -1,0 +1,109 @@
+// Crash/fault flight recorder: a bounded per-thread ring of recent
+// significant events (collectives, retries, barrier poisonings, re-plans,
+// step/epoch marks) that is ALWAYS on — unlike full tracing, which is opt-in
+// and unbounded. When an injected fault exhausts its recovery budget and a
+// FaultError escapes the trainer, the rings are dumped to flight_<ts>.json so
+// the post-mortem has the last few hundred events leading up to the failure
+// even though nobody thought to enable tracing beforehand.
+//
+// Cost discipline: the steady-state Record() path performs no allocation —
+// each thread's ring is a fixed array created once on that thread's first
+// record; an event is one atomic sequence fetch, one (uncontended) mutex, and
+// a struct store. Old events are overwritten, never grown. Kind/label/arg
+// strings must be literals (stored as pointers, like obs::TraceArg).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace apt::obs {
+
+/// One recorded event. Arg conventions at the current call sites:
+///   kind "collective"      label op name; args bytes/participants, class
+///   kind "collective.fail" label op name; args bytes/fraction, class
+///   kind "barrier.poisoned"                (reason goes in the dump header)
+///   kind "retry"           label "step";   args attempt/backoff_s
+///   kind "giveup"          label op-less;  args attempts
+///   kind "replan"          label new strategy; args improvement
+///   kind "step"/"epoch"    label strategy; args index
+struct FlightEvent {
+  std::uint64_t seq = 0;   ///< global order across threads
+  double wall_us = 0.0;    ///< real time (Tracer epoch microseconds)
+  double sim_s = -1.0;     ///< simulated seconds; < 0 when not clock-tied
+  const char* kind = nullptr;   ///< literal; never null once recorded
+  const char* label = nullptr;  ///< literal; may be null
+  std::int8_t num_args = 0;
+  std::array<TraceArg, kMaxTraceArgs> args{};
+};
+
+class FlightRecorder {
+ public:
+  /// Events retained per thread; older ones are overwritten.
+  static constexpr std::size_t kRingCapacity = 256;
+
+  /// Process-wide recorder (leaked singleton; see Tracer::Global).
+  static FlightRecorder& Global();
+
+  /// Appends one event to the calling thread's ring. Always on; zero
+  /// allocation after the thread's first call.
+  void Record(const char* kind, const char* label = nullptr, double sim_s = -1.0,
+              std::initializer_list<TraceArg> args = {});
+
+  /// All retained events, oldest first (global seq order). Safe against
+  /// concurrent recorders.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Writes the flight recording (schema header + events) as JSON.
+  void WriteJson(std::ostream& os, const std::string& reason) const;
+  /// Writes to `path`; false on IO failure.
+  bool DumpFile(const std::string& path, const std::string& reason) const;
+
+  /// The fault path: writes flight_<timestamp_ms>_<n>.json under the dump
+  /// directory (default: cwd) and bumps the flight.dumps metric. Returns the
+  /// path written, or "" on IO failure.
+  std::string DumpOnFault(const std::string& reason);
+
+  /// Directory DumpOnFault writes into (tests point this at a temp dir).
+  void SetDumpDir(std::string dir);
+  std::string dump_dir() const;
+
+  /// Drops retained events (rings stay allocated). Test hook.
+  void Clear();
+
+  /// Number of per-thread rings ever allocated: stable across steady-state
+  /// recording, which is how tests pin the zero-allocation property.
+  std::int64_t RingsAllocated() const;
+  /// Events recorded / overwritten-before-snapshot, over the process life.
+  std::uint64_t TotalRecorded() const;
+  std::uint64_t Dropped() const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::uint64_t count = 0;  ///< total ever recorded into this ring
+    std::array<FlightEvent, kRingCapacity> events{};
+  };
+
+  FlightRecorder() = default;
+  Ring& LocalRing();
+
+  mutable std::mutex mu_;  ///< guards rings_ registration and dump_dir_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::string dump_dir_ = ".";
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+};
+
+/// Shorthand for FlightRecorder::Global().
+inline FlightRecorder& Flight() { return FlightRecorder::Global(); }
+
+}  // namespace apt::obs

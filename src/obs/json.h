@@ -9,12 +9,20 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace apt::obs {
+
+/// Version stamped into every JSON file apt::obs emits (traces, metrics
+/// dumps, bench records, flight recordings) as a top-level/meta
+/// "schema_version" member. Readers (the trace analyzer, aptperf) reject
+/// files whose version is missing or newer than this, so the formats can
+/// evolve without silently mis-parsing old tooling against new files.
+inline constexpr std::int64_t kObsSchemaVersion = 1;
 
 std::string JsonEscape(std::string_view s);
 
@@ -56,5 +64,48 @@ class JsonWriter {
   std::vector<bool> first_{true};
   bool pending_key_ = false;
 };
+
+// --- reader ----------------------------------------------------------------
+//
+// Recursive-descent parser for the files the writer above produces (and for
+// anything structurally similar). Grown out of the mini parser the obs tests
+// carried privately; promoted here so the trace analyzer and the aptperf CLI
+// read real files through the exact same code path the tests exercise.
+
+/// A parsed JSON document node. Cheap to navigate, not cheap to copy —
+/// intended for one-shot analysis of trace/metrics/records files.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  /// Find + numeric coercion with a default (the analyzer's common read).
+  double NumOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == kNumber ? v->num : fallback;
+  }
+  const std::string* StrOrNull(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == kString ? &v->str : nullptr;
+  }
+};
+
+/// Parses `text` (which must be exactly one JSON value plus whitespace).
+/// On failure returns false and, when `error` is non-null, a one-line
+/// description with the byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+/// Reads and parses a whole file; IO failures land in `error` too.
+bool ParseJsonFile(const std::string& path, JsonValue* out,
+                   std::string* error = nullptr);
 
 }  // namespace apt::obs

@@ -51,6 +51,12 @@ std::vector<std::pair<std::string, double>> Metrics::GaugeSnapshot() const {
 void Metrics::WriteJson(std::ostream& os) const {
   JsonWriter w(os);
   w.BeginObject();
+  w.KV("schema_version", kObsSchemaVersion);
+  w.Key("meta");
+  w.BeginObject();
+  w.KV("generator", "apt::obs");
+  w.KV("kind", "metrics");
+  w.EndObject();
   w.Key("counters");
   w.BeginObject();
   for (const auto& [name, value] : CounterSnapshot()) w.KV(name, value);

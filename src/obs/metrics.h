@@ -58,11 +58,17 @@ class Metrics {
   /// Zeroes every registered metric (names stay registered).
   void ResetAll();
 
+  /// Test-fixture hook: zeroes the global registry so counter assertions are
+  /// absolute instead of delta-based, making suites order-independent (the
+  /// registry is process-global, so tests otherwise observe each other's
+  /// increments). Greppable name: production code must never call it.
+  static void ResetForTest() { Global().ResetAll(); }
+
   /// Sorted snapshots (copy; safe against concurrent updates).
   std::vector<std::pair<std::string, std::int64_t>> CounterSnapshot() const;
   std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
 
-  /// {"counters": {...}, "gauges": {...}}
+  /// {"schema_version": ..., "meta": {...}, "counters": {...}, "gauges": ...}
   void WriteJson(std::ostream& os) const;
   std::string ToJson() const;
   /// One "name value" line per metric, counters first.

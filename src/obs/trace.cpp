@@ -35,10 +35,11 @@ void Tracer::Emit(TraceEvent e) {
   buf.events.push_back(e);
 }
 
-std::int32_t Tracer::RegisterSimTrack(std::string label, std::int32_t num_lanes) {
+std::int32_t Tracer::RegisterSimTrack(std::string label, std::int32_t num_lanes,
+                                      std::vector<std::string> lane_names) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::int32_t pid = next_pid_++;
-  sim_tracks_.push_back({pid, std::move(label), num_lanes});
+  sim_tracks_.push_back({pid, std::move(label), num_lanes, std::move(lane_names)});
   return pid;
 }
 

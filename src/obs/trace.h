@@ -71,6 +71,16 @@ struct SimTrackInfo {
   std::int32_t pid = 0;
   std::string label;
   std::int32_t num_lanes = 0;
+  /// Optional per-lane display names; lanes beyond its size (or all lanes,
+  /// when empty) fall back to "gpu<lane>".
+  std::vector<std::string> lane_names;
+
+  std::string LaneName(std::int32_t lane) const {
+    if (lane >= 0 && static_cast<std::size_t>(lane) < lane_names.size()) {
+      return lane_names[static_cast<std::size_t>(lane)];
+    }
+    return "gpu" + std::to_string(lane);
+  }
 };
 
 #if APT_OBS_ENABLED
@@ -105,8 +115,10 @@ class Tracer {
   /// path to a single flag load.
   void Emit(TraceEvent e);
 
-  /// Registers a simulated-clock track; returns its trace pid.
-  std::int32_t RegisterSimTrack(std::string label, std::int32_t num_lanes);
+  /// Registers a simulated-clock track; returns its trace pid. Lanes named
+  /// from `lane_names` where provided, "gpu<lane>" otherwise.
+  std::int32_t RegisterSimTrack(std::string label, std::int32_t num_lanes,
+                                std::vector<std::string> lane_names = {});
 
   /// Microseconds of real time since tracer construction.
   double RealNowUs() const {

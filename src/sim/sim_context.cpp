@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace apt {
@@ -58,12 +59,21 @@ SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
   peak_bytes_.assign(n, 0);
 }
 
+std::string SimContext::ObsTrackLabel() const {
+  return std::to_string(cluster_.num_machines()) + "m x " +
+         std::to_string(num_devices() / cluster_.num_machines()) + "gpu";
+}
+
 std::int32_t SimContext::ObsPid() const {
   if (obs_pid_ < 0) {
+    std::vector<std::string> lanes;
+    lanes.reserve(static_cast<std::size_t>(num_devices()) + 1);
+    for (DeviceId d = 0; d < num_devices(); ++d) {
+      lanes.push_back("gpu" + std::to_string(d));
+    }
+    lanes.push_back("steps");  // ObsStepLane: engine markers
     obs_pid_ = obs::Tracer::Global().RegisterSimTrack(
-        std::to_string(cluster_.num_machines()) + "m x " +
-            std::to_string(num_devices() / cluster_.num_machines()) + "gpu",
-        num_devices());
+        ObsTrackLabel(), num_devices() + 1, std::move(lanes));
   }
   return obs_pid_;
 }
@@ -337,6 +347,9 @@ void SimContext::PoisonBarrier(const std::string& reason) {
   poisoned_ = true;
   poison_reason_ = reason;
   FaultCounter("fault.barrier.poisoned").Increment();
+  // The (dynamic) reason string travels in the flight dump's header via
+  // PoisonReason(); the ring event itself only carries literals.
+  obs::Flight().Record("barrier.poisoned", nullptr, MaxNow());
   if (obs::TracingEnabled()) {
     const double t = MaxNow();
     obs::EmitSimSpan(ObsPid(), 0, t, t, "fault.barrier_poisoned", "fault");

@@ -106,10 +106,20 @@ class SimContext {
   /// Checked after every advance in debug builds; callable from tests.
   void DebugCheckClockInvariant() const;
 
-  /// Trace pid of this context's simulated track (one lane per device),
-  /// registered with the global tracer on first use (const: lazy
-  /// registration is observability, not simulation state).
+  /// Trace pid of this context's simulated track (one lane per device plus
+  /// one marker lane, see ObsStepLane), registered with the global tracer on
+  /// first use (const: lazy registration is observability, not simulation
+  /// state).
   std::int32_t ObsPid() const;
+
+  /// Lane on this context's track reserved for engine-level markers (step /
+  /// epoch spans with strategy annotations). Device slices never land here,
+  /// so markers can overlap device activity without corrupting lanes — and
+  /// the trace analyzer uses them to delimit steps and label strategies.
+  std::int32_t ObsStepLane() const { return num_devices(); }
+
+  /// Display label of this context's trace track ("2m x 4gpu").
+  std::string ObsTrackLabel() const;
 
   // --- compute cost helpers -------------------------------------------
 

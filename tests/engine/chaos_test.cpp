@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "apt/resilience.h"
+#include "obs/flight.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
@@ -23,6 +27,15 @@ namespace {
 using ::apt::testing::MakeTrainer;
 using ::apt::testing::MaxParamDiff;
 using ::apt::testing::SmallDataset;
+
+// Several scenarios below let a FaultError escape the trainer, which dumps a
+// flight recording; point those dumps at the test temp dir instead of cwd.
+class FlightDumpDirEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { obs::Flight().SetDumpDir(::testing::TempDir()); }
+};
+const ::testing::Environment* const kFlightDumpDirEnvironment =
+    ::testing::AddGlobalTestEnvironment(new FlightDumpDirEnvironment);
 
 std::int64_t Counter(const char* name) {
   return obs::Metrics::Global().counter(name).Get();
@@ -141,6 +154,67 @@ TEST(ChaosTest, RetryBudgetExhaustionRethrows) {
   const RecoveryStats& rs = chaotic->recovery_stats();
   EXPECT_EQ(rs.retries, 3);
   EXPECT_EQ(rs.giveups, 1);
+}
+
+TEST(ChaosTest, ExhaustedRetryBudgetLeavesAFlightRecording) {
+  // The ISSUE's flight-recorder acceptance scenario: a chaos run whose retry
+  // budget is exhausted must leave a parseable flight_*.json containing the
+  // failing collective's event — WITHOUT tracing ever being enabled.
+  const std::string dir = ::testing::TempDir() + "chaos_flight";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  obs::Flight().SetDumpDir(dir);
+  obs::Flight().Clear();
+
+  const Dataset ds = SmallDataset();
+  FaultPlan plan;
+  for (int i = 0; i < 5; ++i) plan.collectives.push_back({.after_bytes = 0});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  recovery.max_retries_per_step = 3;
+  auto chaotic = ChaosTrainer(ds, plan, recovery);
+  EXPECT_THROW(chaotic->TrainEpoch(0), CollectiveError);
+
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("flight_", 0) == 0) dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJsonFile(dumps[0], &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc.NumOr("schema_version", 0.0),
+                   static_cast<double>(obs::kObsSchemaVersion));
+  ASSERT_NE(doc.StrOrNull("reason"), nullptr);
+  EXPECT_NE(doc.StrOrNull("reason")->find("retry budget exhausted"),
+            std::string::npos);
+
+  // The recording must tell the failure story: the failing collective (with
+  // its wire bytes and traffic class), the retries, and the final giveup.
+  const obs::JsonValue* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  bool saw_fail = false, saw_retry = false, saw_giveup = false;
+  for (const obs::JsonValue& e : events->arr) {
+    const std::string* kind = e.StrOrNull("kind");
+    if (kind == nullptr) continue;
+    if (*kind == "collective.fail") {
+      const obs::JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_GE(args->NumOr("bytes", -1.0), 0.0);
+      EXPECT_NE(args->StrOrNull("class"), nullptr);
+      saw_fail = true;
+    }
+    if (*kind == "retry") saw_retry = true;
+    if (*kind == "giveup") saw_giveup = true;
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_giveup);
+
+  std::filesystem::remove_all(dir);
+  obs::Flight().SetDumpDir(::testing::TempDir());
 }
 
 TEST(ChaosTest, StepTimeoutsAreDetected) {

@@ -1,15 +1,12 @@
-// apt::obs unit tests: JSON writer, metrics registry, tracer behaviour under
-// the fork-join pool, and well-formedness of the exported Chrome trace
-// (parsed back with the mini JSON parser below).
+// apt::obs unit tests: JSON writer + the shared reader in obs/json.h
+// (which replaced the mini parser these tests used to carry privately),
+// metrics registry, tracer behaviour under the fork-join pool, and
+// well-formedness of the exported Chrome trace.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <limits>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,167 +20,9 @@
 namespace apt {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Mini JSON parser — just enough to verify the files obs emits are
-// well-formed and to navigate their structure. Numbers parse via strtod;
-// escapes handled are the ones JsonEscape produces.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::map<std::string, JsonValue> obj;
-
-  const JsonValue* Find(const std::string& key) const {
-    const auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : s_(text) {}
-
-  bool Parse(JsonValue* out) {
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == s_.size();  // no trailing garbage
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ >= s_.size() || s_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-  bool ConsumeLiteral(std::string_view lit) {
-    if (s_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return false;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = s_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-              else return false;
-            }
-            out->push_back(static_cast<char>(code));  // control chars only
-            break;
-          }
-          default:
-            return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return Consume('"');
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      SkipWs();
-      if (Consume('}')) return true;
-      while (true) {
-        std::string key;
-        if (!ParseString(&key)) return false;
-        if (!Consume(':')) return false;
-        JsonValue v;
-        if (!ParseValue(&v)) return false;
-        out->obj.emplace(std::move(key), std::move(v));
-        if (Consume(',')) continue;
-        return Consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      SkipWs();
-      if (Consume(']')) return true;
-      while (true) {
-        JsonValue v;
-        if (!ParseValue(&v)) return false;
-        out->arr.push_back(std::move(v));
-        if (Consume(',')) continue;
-        return Consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return ParseString(&out->str);
-    }
-    if (c == 't') {
-      out->kind = JsonValue::kBool;
-      out->b = true;
-      return ConsumeLiteral("true");
-    }
-    if (c == 'f') {
-      out->kind = JsonValue::kBool;
-      out->b = false;
-      return ConsumeLiteral("false");
-    }
-    if (c == 'n') {
-      out->kind = JsonValue::kNull;
-      return ConsumeLiteral("null");
-    }
-    // Number.
-    const char* begin = s_.data() + pos_;
-    char* end = nullptr;
-    out->num = std::strtod(begin, &end);
-    if (end == begin) return false;
-    pos_ += static_cast<std::size_t>(end - begin);
-    out->kind = JsonValue::kNumber;
-    return true;
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-bool ParseJsonFile(const std::string& path, JsonValue* out) {
-  std::ifstream is(path);
-  if (!is) return false;
-  std::stringstream buf;
-  buf << is.rdbuf();
-  return JsonParser(buf.str()).Parse(out);
-}
+using obs::JsonValue;
+using obs::ParseJson;
+using obs::ParseJsonFile;
 
 // Resets tracing to off + empty buffers around every tracer test so the
 // suite's tests do not leak events into each other.
@@ -249,15 +88,113 @@ TEST(JsonWriterTest, RawValueInterleavesWithSiblings) {
   w.EndArray();
   EXPECT_EQ(os.str(), R"([{"k":1},[2],3])");
   JsonValue v;
-  ASSERT_TRUE(JsonParser(os.str()).Parse(&v));
+  ASSERT_TRUE(ParseJson(os.str(), &v));
   EXPECT_EQ(v.arr.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared JSON reader (obs/json.h) — edge cases around escaping and structure
+// ---------------------------------------------------------------------------
+
+TEST(JsonReaderTest, ControlCharactersRoundTripThroughWriterAndParser) {
+  // Every control character the writer must escape (\u00XX) plus the named
+  // escapes; the parser must reproduce the original bytes exactly.
+  std::string original;
+  for (char c = 1; c < 0x20; ++c) original.push_back(c);
+  original += "\"\\/plain";
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.Value(original);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(os.str(), &v, &error)) << error;
+  ASSERT_EQ(v.kind, JsonValue::kString);
+  EXPECT_EQ(v.str, original);
+}
+
+TEST(JsonReaderTest, UnicodeEscapesDecodeToUtf8) {
+  JsonValue v;
+  // 2-byte (é), 3-byte (€), and ASCII \u forms — as escape sequences, so the
+  // parser's \uXXXX → UTF-8 path is actually exercised.
+  ASSERT_TRUE(ParseJson(R"("\u00e9\u20acA")", &v));
+  EXPECT_EQ(v.str, "\xC3\xA9\xE2\x82\xAC" "A");
+}
+
+TEST(JsonReaderTest, NestedDocumentRoundTrips) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.KV("int", std::int64_t{42});
+  w.KV("neg", -2.5);
+  w.KV("big", 1.25e18);
+  w.KV("flag", false);
+  w.Key("list");
+  w.BeginArray();
+  w.Value("a");
+  w.BeginObject();
+  w.KV("inner", std::int64_t{-7});
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(os.str(), &v, &error)) << error;
+  ASSERT_EQ(v.kind, JsonValue::kObject);
+  EXPECT_DOUBLE_EQ(v.NumOr("int", 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(v.NumOr("neg", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(v.NumOr("big", 0.0), 1.25e18);
+  ASSERT_NE(v.Find("flag"), nullptr);
+  EXPECT_EQ(v.Find("flag")->kind, JsonValue::kBool);
+  EXPECT_FALSE(v.Find("flag")->b);
+  const JsonValue* list = v.Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->arr.size(), 2u);
+  EXPECT_EQ(list->arr[0].str, "a");
+  EXPECT_DOUBLE_EQ(list->arr[1].NumOr("inner", 0.0), -7.0);
+}
+
+TEST(JsonReaderTest, RejectsMalformedInputWithOffset) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":1", &v, &error));  // unterminated object
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1,2] garbage", &v, &error));  // trailing junk
+  EXPECT_NE(error.find("byte"), std::string::npos) << error;
+  EXPECT_FALSE(ParseJson(R"("bad \q escape")", &v, &error));  // unknown escape
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  EXPECT_FALSE(ParseJson("nul", &v, &error));  // truncated literal
+}
+
+TEST(JsonReaderTest, NumbersAtBufferEndDoNotOverread) {
+  // The parser reads numbers through a bounded local buffer; a number that
+  // runs to the very end of a non-NUL-terminated view must still parse.
+  const std::string text = "[1.5e3]";
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(std::string_view(text.data(), text.size()), &v));
+  EXPECT_DOUBLE_EQ(v.arr[0].num, 1500.0);
+}
+
+TEST(JsonReaderTest, DuplicateKeysLastWins) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"k":1,"k":2})", &v));
+  EXPECT_DOUBLE_EQ(v.NumOr("k", 0.0), 2.0);
 }
 
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 
-TEST(MetricsTest, CounterAndGaugeRoundTrip) {
+// The registry is process-global, so without a reset these assertions could
+// only ever be >= checks (other tests' increments bleed in). ResetForTest
+// zeroes it, making every expectation exact and the suite order-independent.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Metrics::ResetForTest(); }
+  void TearDown() override { obs::Metrics::ResetForTest(); }
+};
+
+TEST_F(MetricsTest, CounterAndGaugeRoundTrip) {
   obs::Metrics& m = obs::Metrics::Global();
   obs::Counter& c = m.counter("test.obs.counter");
   obs::Gauge& g = m.gauge("test.obs.gauge");
@@ -271,23 +208,44 @@ TEST(MetricsTest, CounterAndGaugeRoundTrip) {
   EXPECT_DOUBLE_EQ(m.gauge("test.obs.gauge").Get(), 0.25);
 }
 
-TEST(MetricsTest, JsonDumpParsesAndContainsNames) {
+TEST_F(MetricsTest, JsonDumpParsesAndContainsNames) {
   obs::Metrics& m = obs::Metrics::Global();
   m.counter("test.obs.dump").Add(7);
   m.gauge("test.obs.rate").Set(0.5);
   JsonValue v;
-  ASSERT_TRUE(JsonParser(m.ToJson()).Parse(&v));
+  ASSERT_TRUE(ParseJson(m.ToJson(), &v));
   const JsonValue* counters = v.Find("counters");
   const JsonValue* gauges = v.Find("gauges");
   ASSERT_NE(counters, nullptr);
   ASSERT_NE(gauges, nullptr);
   ASSERT_NE(counters->Find("test.obs.dump"), nullptr);
-  EXPECT_GE(counters->Find("test.obs.dump")->num, 7.0);
+  EXPECT_DOUBLE_EQ(counters->Find("test.obs.dump")->num, 7.0);
   ASSERT_NE(gauges->Find("test.obs.rate"), nullptr);
   EXPECT_DOUBLE_EQ(gauges->Find("test.obs.rate")->num, 0.5);
 }
 
-TEST(MetricsTest, CountersAreThreadSafeUnderParallelFor) {
+TEST_F(MetricsTest, DumpCarriesSchemaHeader) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(obs::Metrics::Global().ToJson(), &v));
+  const JsonValue* version = v.Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(version->num), obs::kObsSchemaVersion);
+  const JsonValue* meta = v.Find("meta");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_NE(meta->StrOrNull("kind"), nullptr);
+  EXPECT_EQ(*meta->StrOrNull("kind"), "metrics");
+}
+
+TEST_F(MetricsTest, ResetForTestZeroesEverything) {
+  obs::Metrics& m = obs::Metrics::Global();
+  m.counter("test.obs.reset").Add(3);
+  m.gauge("test.obs.reset_gauge").Set(1.5);
+  obs::Metrics::ResetForTest();
+  EXPECT_EQ(m.counter("test.obs.reset").Get(), 0);
+  EXPECT_DOUBLE_EQ(m.gauge("test.obs.reset_gauge").Get(), 0.0);
+}
+
+TEST_F(MetricsTest, CountersAreThreadSafeUnderParallelFor) {
   obs::Counter& c = obs::Metrics::Global().counter("test.obs.parallel");
   const std::int64_t before = c.Get();
   ParallelFor(0, 10000, [&](std::int64_t) { c.Increment(); });
