@@ -21,7 +21,8 @@ TrainerSetup BuildTrainerSetup(const ClusterSpec& cluster, const ModelConfig& mo
   setup.feature_placement = FeaturePlacementFromPartition(partition, cluster);
   // Carry the dry-run prediction along so the trainer can publish
   // predicted-vs-measured cost-model residual metrics.
-  setup.predicted_comparable_seconds = EstimateCost(strategy, dryrun).Comparable();
+  setup.predicted_comparable_seconds =
+      EstimateCost(strategy, dryrun, setup.engine.pipeline_depth).Comparable();
   return setup;
 }
 

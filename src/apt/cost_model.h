@@ -21,17 +21,42 @@ struct CostEstimate {
   double t_build = 0.0;    ///< sampling + computation-graph shuffles
   double t_load = 0.0;     ///< feature loading over the memory hierarchy
   double t_shuffle = 0.0;  ///< hidden-embedding (and gradient) shuffles
+  double t_sample = 0.0;   ///< sampling share of t_build (compute-bound)
+  double t_compute = 0.0;  ///< Execute compute — the overlap partner
+  double t_fixed = 0.0;    ///< serial tail: gradient allreduce + optimizer
+  int pipeline_depth = 1;  ///< EngineOptions::pipeline_depth this was built for
   bool feasible = true;    ///< fits device memory
 
   /// The strategy-dependent part of the epoch time.
-  double Comparable() const { return t_build + t_load + t_shuffle; }
+  ///
+  /// Serial (depth <= 1): t_build + t_load + t_shuffle, exactly the paper's
+  /// comparison — T_train cancels across strategies so it is omitted.
+  ///
+  /// Pipelined (depth > 1): the per-device comm stream overlaps every comm
+  /// term except sampling (which feeds the first micro-batch) against the
+  /// Execute compute, so the steady state costs max(T_comm, T_compute) and
+  /// the pipeline fill/drain ramp adds one micro-batch of the hidden side,
+  /// min(T_comm, T_compute) / depth (the two-op closed form of the replay
+  /// scheduler). The serial tail t_fixed no longer cancels — strategies now
+  /// differ in how much comm they HIDE, not how much they issue — so it is
+  /// added back.
+  double Comparable() const {
+    if (pipeline_depth <= 1) return t_build + t_load + t_shuffle;
+    const double comm = (t_build - t_sample) + t_load + t_shuffle;
+    const double steady = comm > t_compute ? comm : t_compute;
+    const double ramp =
+        (comm < t_compute ? comm : t_compute) / static_cast<double>(pipeline_depth);
+    return t_sample + steady + ramp + t_fixed;
+  }
 };
 
 /// Builds the estimate for one strategy from its dry-run measurements.
-CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun);
+CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun,
+                          int pipeline_depth = 1);
 
 /// Estimates for all strategies, in Strategy enum order.
-std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun);
+std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun,
+                                                     int pipeline_depth = 1);
 
 /// Re-derives the estimates with a freshly MEASURED (post-fault) profile,
 /// without repeating the dry-run: each profile-derived term is scaled by its
@@ -43,7 +68,8 @@ std::array<CostEstimate, kNumStrategies> EstimateAll(const DryRunResult& dryrun)
 /// cancels in the comparison and is left unchanged. This is the recovery
 /// layer's input for mid-training strategy re-selection.
 std::array<CostEstimate, kNumStrategies> ReestimateWithProfile(
-    const DryRunResult& dryrun, const CommProfile& degraded);
+    const DryRunResult& dryrun, const CommProfile& degraded,
+    int pipeline_depth = 1);
 
 /// The feasible strategy with the smallest Comparable() (GDP if none fit).
 Strategy SelectStrategy(const std::array<CostEstimate, kNumStrategies>& estimates);
@@ -53,7 +79,10 @@ std::string FormatEstimate(const CostEstimate& e);
 /// Compares a planner estimate against what a traced run actually measured
 /// (one TraceAnalysis from obs::AnalyzeEvents/AnalyzeTraceFile): t_build vs
 /// the sample-phase maximum, t_load vs the load-phase maximum, t_shuffle vs
-/// the train-phase communication maximum, plus the comparable totals. The
+/// the train-phase communication maximum, plus the comparable totals (for a
+/// pipelined estimate the measured comparable is StackedSeconds — under
+/// overlap the estimate models the whole stacked epoch, not just the
+/// strategy-dependent slice). The
 /// returned markdown table is the cost model's residual report — the drift
 /// diagnostic that shows which term went stale when a plan underperforms.
 std::string FormatResidualReport(const CostEstimate& e,

@@ -55,6 +55,23 @@ double SampleCost(const ClusterSpec& cluster, DeviceId dev, const SampledBatch& 
          static_cast<double>(batch.blocks.size()) * m.gpu.kernel_launch_s;
 }
 
+/// Execute compute time for one device's batch: the full forward+backward
+/// flop count (mirrors exec_common ChargeStepCompute with first_layer = 0;
+/// the paper's strategy-independent T_train) through the device's flop rate.
+double ComputeCost(const ClusterSpec& cluster, const GnnModel& probe, DeviceId dev,
+                   const SampledBatch& batch) {
+  const int layers =
+      std::min(probe.num_layers(), static_cast<int>(batch.blocks.size()));
+  double flops = 0.0;
+  for (int k = 0; k < layers; ++k) {
+    const Block& b = batch.blocks[static_cast<std::size_t>(k)];
+    flops += probe.layer(k).ForwardFlops(b.num_src(), b.num_dst, b.num_edges()) +
+             probe.layer(k).BackwardFlops(b.num_src(), b.num_dst, b.num_edges());
+  }
+  const auto& gpu = cluster.machine(cluster.MachineOf(dev)).gpu;
+  return gpu.kernel_launch_s + flops / gpu.EffectiveFlops();
+}
+
 /// Runs one deterministic epoch of sampling under `assignment`, invoking
 /// `visit(step, per-device batches)` for each step.
 template <typename Visit>
@@ -112,6 +129,9 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
   const std::int64_t d1 = Layer0OutDim(model);
   const bool gat = model.kind == ModelKind::kGat;
   res.profile = ProfileCommunication(cluster);
+  // Parameter-carrying probe for the compute half of the overlap-aware cost
+  // model (flop counting only; nothing is ever run through it).
+  const GnnModel probe(model);
 
   // ---- Pass 1 (chunked): node access frequencies. --------------------------
   FrequencyCollector freq(dataset.graph.num_nodes());
@@ -160,6 +180,7 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
     std::int64_t nfp_graph_bytes = 0;
     std::vector<std::int64_t> nfp_transient(static_cast<std::size_t>(c), 0);
     double step_sample_max = 0.0;
+    double step_compute_max = 0.0;
     double gdp_step_load = 0.0;
     std::vector<LoadVolume> nfp_step_vol(static_cast<std::size_t>(c));
     for (std::int32_t dev = 0; dev < c; ++dev) {
@@ -167,6 +188,7 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
       // The slowest device bounds each step (the trainer synchronizes at
       // every collective), so the epoch estimate sums per-step maxima.
       step_sample_max = std::max(step_sample_max, SampleCost(cluster, dev, b));
+      step_compute_max = std::max(step_compute_max, ComputeCost(cluster, probe, dev, b));
       const Block& b0 = b.blocks.front();
       // GDP: the device loads its own input features at full width.
       const LoadVolume gdp_step =
@@ -195,6 +217,8 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
     }
     gdp.sample_seconds += step_sample_max;
     nfp.sample_seconds += step_sample_max;
+    gdp.train_compute_seconds += step_compute_max;
+    nfp.train_compute_seconds += step_compute_max;
     gdp.load_seconds += gdp_step_load;
     double nfp_step_load = 0.0;
     for (std::int32_t g = 0; g < c; ++g) {
@@ -227,13 +251,19 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
     std::vector<std::int64_t> step_rows_snp(static_cast<std::size_t>(c), 0);
     std::vector<std::int64_t> step_rows_dnp(static_cast<std::size_t>(c), 0);
     double step_sample_max = 0.0;
+    double step_compute_max = 0.0;
     for (std::int32_t o = 0; o < c; ++o) {
       step_sample_max =
           std::max(step_sample_max,
                    SampleCost(cluster, o, batches[static_cast<std::size_t>(o)]));
+      step_compute_max =
+          std::max(step_compute_max,
+                   ComputeCost(cluster, probe, o, batches[static_cast<std::size_t>(o)]));
     }
     snp.sample_seconds += step_sample_max;
     dnp.sample_seconds += step_sample_max;
+    snp.train_compute_seconds += step_compute_max;
+    dnp.train_compute_seconds += step_compute_max;
     for (std::int32_t o = 0; o < c; ++o) {
       const SampledBatch& b = batches[static_cast<std::size_t>(o)];
       const Block& b0 = b.blocks.front();
@@ -387,6 +417,16 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
   dnp.shuffle_seconds =
       (atob > 0 ? 2.0 * static_cast<double>(dnp_max_rows) * d1 * kF / atob : 0.0) +
       atoa_shuffle_lat;
+  // Serial per-step train tail for the pipelined cost model: the gradient
+  // ring-allreduce needs every micro-batch's gradients and the optimizer
+  // runs after it, so neither overlaps at any pipeline depth. Optimizer
+  // flops mirror the trainer's nominal 2 flops per parameter.
+  const double param_bytes = static_cast<double>(probe.ParamBytes());
+  const double opt_s =
+      m0.gpu.kernel_launch_s + (2.0 * param_bytes / 4.0) / m0.gpu.EffectiveFlops();
+  res.train_fixed_seconds =
+      static_cast<double>(steps) *
+      ((arb > 0 ? param_bytes / arb : 0.0) + coll_lat + opt_s);
 
   // ---- Memory feasibility. ---------------------------------------------------
   const std::int64_t device_mem = cluster.machines.front().gpu.memory_bytes;

@@ -40,6 +40,11 @@ struct StrategyDryRun {
   std::int64_t shuffle_bytes = 0;      ///< incl. fwd + bwd (2x d' per row)
   double shuffle_seconds = 0.0;
   std::int64_t peak_transient_bytes = 0;  ///< max over devices, per step
+  /// Execute compute for the epoch: per-step max over devices of the full
+  /// forward+backward flop time, summed over steps. Strategy-independent in
+  /// the paper's model (T_train), but measured per seed-assignment family so
+  /// the pipelined cost model can overlap it against that family's comm.
+  double train_compute_seconds = 0.0;
   bool fits_memory = true;
 
   double ComparableSeconds() const {
@@ -52,6 +57,11 @@ struct DryRunResult {
   std::array<StrategyDryRun, kNumStrategies> per_strategy;
   std::array<CacheConfig, kNumStrategies> caches;
   CommProfile profile;
+  /// Per-epoch serial step tail that no pipeline depth can hide: the
+  /// gradient ring-allreduce (needs every micro-batch's gradients) plus the
+  /// optimizer update. Strategy-independent; used by the overlap-aware
+  /// CostEstimate::Comparable() at pipeline_depth > 1.
+  double train_fixed_seconds = 0.0;
   double wall_seconds = 0.0;  ///< host time spent on the dry-run itself
 };
 

@@ -9,7 +9,7 @@ PlanReport MakePlan(const Dataset& dataset, const ClusterSpec& cluster,
                     const ModelConfig& model) {
   PlanReport report;
   report.dryrun = DryRun(dataset, cluster, partition, opts, model);
-  report.estimates = EstimateAll(report.dryrun);
+  report.estimates = EstimateAll(report.dryrun, opts.pipeline_depth);
   report.selected = SelectStrategy(report.estimates);
   for (const CostEstimate& e : report.estimates) {
     APT_LOG_DEBUG << "plan: " << FormatEstimate(e);

@@ -56,7 +56,8 @@ void ResilientRunner::MaybeReplan(ResilienceReport& report) {
   const CommProfile degraded =
       ProfileCommunication(trainer_->setup().cluster, opts_.faults, now);
   const auto estimates =
-      ReestimateWithProfile(system_->Plan().dryrun, degraded);
+      ReestimateWithProfile(system_->Plan().dryrun, degraded,
+                            trainer_->setup().engine.pipeline_depth);
   const Strategy candidate = SelectStrategy(estimates);
   const double cur_cost =
       estimates[static_cast<std::size_t>(current_)].Comparable();

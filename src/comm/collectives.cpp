@@ -1,6 +1,7 @@
 #include "comm/collectives.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "obs/flight.h"
@@ -132,10 +133,19 @@ void Communicator::MaybeFailCollective(std::int64_t wire_bytes,
                                        const char* traffic_class) {
   const std::optional<double> fraction = ctx_->CollectiveFailureFraction(wire_bytes);
   if (!fraction.has_value()) return;
+  // Under pipelined execution the step runs as PipelineDepth() micro-batch
+  // collectives; the completed byte fraction pins down which one was in
+  // flight when the fault hit — recorded for the post-mortem flight dump.
+  const int depth = ctx_->PipelineDepth();
+  const double microbatch =
+      depth > 1 ? std::min<double>(static_cast<double>(depth - 1),
+                                   std::floor(*fraction * static_cast<double>(depth)))
+                : 0.0;
   obs::Flight().Record("collective.fail", label, ctx_->MaxNow(),
                        {{"bytes", static_cast<double>(wire_bytes), nullptr},
                         {"fraction", *fraction, nullptr},
-                        {"class", 0.0, traffic_class}});
+                        {"class", 0.0, traffic_class},
+                        {"microbatch", microbatch, nullptr}});
   // The call dies part-way through: every participant has burned the
   // completed fraction of its busy time, nothing was delivered.
   for (std::size_t d = 0; d < busy.size(); ++d) {

@@ -8,6 +8,11 @@
 //
 // Because the owner sees every source of a destination, the same code path
 // serves both GraphSAGE and GAT (no attention penalty — Fig 10).
+//
+// Pipelined execution (EngineOptions::pipeline_depth > 1): the destination
+// all-to-all, the owners' feature gathers (kLoad) and the embedding-row
+// return shuffle ride the per-device comm stream; the owner-side layer-1
+// compute overlaps with the neighbouring micro-batches' shuffles.
 #include <unordered_map>
 
 #include "engine/exec_common.h"

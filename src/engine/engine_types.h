@@ -53,6 +53,12 @@ struct EngineOptions {
   /// requesting device (GDP-style), so hidden embeddings never cross the
   /// inter-machine network. See bench/ablation_hybrid.
   bool hybrid_intra_machine = false;
+  /// Pipelined execution: split every step into this many micro-batches and
+  /// overlap their Shuffle/gather communication with compute on a per-device
+  /// comm stream (SimContext::PipelinedStepScope). 1 = serial (today's
+  /// behaviour). Purely a timing-model feature: model parameters are
+  /// bit-identical at every depth (the arithmetic still runs serially).
+  int pipeline_depth = 1;
   RecoveryOptions recovery;
 
   /// Default assignment rule for a strategy (tests may override to compare

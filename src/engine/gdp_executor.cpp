@@ -1,5 +1,10 @@
 // Graph data parallel: each device processes its seeds end to end; the only
 // inter-device communication is the DDP gradient allreduce (by the trainer).
+//
+// Pipelined execution (EngineOptions::pipeline_depth > 1): the feature
+// gathers (kLoad) are the step's only comm-stream ops, so the replay overlaps
+// micro-batch m+1's gather with micro-batch m's Execute. The gradient
+// allreduce happens outside the pipelined scope (serial tail by design).
 #include "engine/executor.h"
 #include "engine/exec_common.h"
 #include "obs/trace.h"

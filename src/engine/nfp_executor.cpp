@@ -12,6 +12,12 @@
 // needs complete logits); backward broadcasts grad_z so each device can form
 // its weight-slice gradient. This is the "extra communication" and
 // "intermediate tensors exceed GPU memory" behaviour of Fig 10.
+//
+// Pipelined execution (EngineOptions::pipeline_depth > 1): the graph
+// AllBroadcast, the dimension-slice feature gathers (kLoad) and the partial
+// allreduce / grad broadcast all land on the per-device comm stream, so NFP
+// — the comm-heaviest strategy — gains the most from overlap; only the
+// projection/aggregation compute stays on the compute stream.
 #include "engine/exec_common.h"
 #include "engine/executor.h"
 #include "obs/trace.h"

@@ -13,6 +13,11 @@
 // owners instead ship *projected source embeddings* (z rows) to the
 // requesting device, which runs attention locally — the paper's "extra
 // communication for attention-based models".
+//
+// Pipelined execution (EngineOptions::pipeline_depth > 1): the virtual-node
+// all-to-all, the owners' source gathers (kLoad) and the partial GroupReduce
+// ride the per-device comm stream and overlap with the projection compute of
+// the neighbouring micro-batches.
 #include <unordered_map>
 
 #include "engine/exec_common.h"

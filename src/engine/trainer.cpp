@@ -16,7 +16,14 @@ namespace {
 
 /// Comparable time so far (phase maxima, same convention as
 /// CostEstimate::Comparable): sample + load + train-phase communication.
-double ComparableNow(const SimContext& sim) {
+/// In pipelined mode load/shuffle time is overlapped and only its exposed
+/// share lands on the phases, so the measured counterpart of the planner's
+/// overlap-aware estimate is the stacked phase total.
+double ComparableNow(const SimContext& sim, int pipeline_depth) {
+  if (pipeline_depth > 1) {
+    return sim.PhaseMax(Phase::kSample) + sim.PhaseMax(Phase::kLoad) +
+           sim.PhaseMax(Phase::kTrain);
+  }
   return sim.PhaseMax(Phase::kSample) + sim.PhaseMax(Phase::kLoad) +
          sim.CommMax(Phase::kTrain);
 }
@@ -72,7 +79,7 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   }
   const double comm0_sample = sim_->CommMax(Phase::kSample);
   const double comm0_train = sim_->CommMax(Phase::kTrain);
-  const double comparable0 = ComparableNow(*sim_);
+  const double comparable0 = ComparableNow(*sim_, setup_.engine.pipeline_depth);
 
   // Seed scheduling. Chunked mode slices a globally shuffled order; the
   // partition mode gives each device its own partition-local queue
@@ -101,7 +108,7 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   Rng epoch_rng = Rng(setup_.engine.sample_seed).Fork(static_cast<std::uint64_t>(epoch));
   for (std::int64_t step = 0; step < steps; ++step) {
     APT_OBS_SCOPE("step", "engine", {{"step", static_cast<double>(step), nullptr}});
-    const double step_comparable0 = ComparableNow(*sim_);
+    const double step_comparable0 = ComparableNow(*sim_, setup_.engine.pipeline_depth);
     std::vector<std::vector<NodeId>> per_device;
     if (partitioned) {
       per_device.resize(queues.size());
@@ -128,7 +135,17 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
         std::vector<DeviceBatch> batches =
             SampleDeviceBatches(ctx_, per_device, step_rng);
         for (auto& m : models_) m->ZeroGrad();
-        s = executor_->Step(batches);
+        {
+          // Pipelined mode: capture this step's advances and replay them as
+          // overlapped micro-batches (no-op scope at depth 1). The scope
+          // replays even when a collective fault unwinds mid-step, so the
+          // partial charge lands before the retry below. The gradient
+          // all-reduce stays outside: it needs every micro-batch's gradients
+          // and is the serial tail of the step.
+          SimContext::PipelinedStepScope pipelined(*sim_,
+                                                   setup_.engine.pipeline_depth);
+          s = executor_->Step(batches);
+        }
         AllReduceGradients(ctx_);
         break;
       } catch (const FaultError& e) {
@@ -190,7 +207,7 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     seeds_done += s.num_seeds;
     if (setup_.predicted_comparable_seconds > 0.0) {
       const double residual =
-          (ComparableNow(*sim_) - step_comparable0) - predicted_per_step;
+          (ComparableNow(*sim_, setup_.engine.pipeline_depth) - step_comparable0) - predicted_per_step;
       residual_abs_sum += std::abs(residual);
       residual_abs_max = std::max(residual_abs_max, std::abs(residual));
     }
@@ -224,7 +241,7 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   metrics.counter("trainer.epochs").Increment();
   metrics.counter("trainer.steps").Add(steps);
   if (setup_.predicted_comparable_seconds > 0.0) {
-    const double measured = ComparableNow(*sim_) - comparable0;
+    const double measured = ComparableNow(*sim_, setup_.engine.pipeline_depth) - comparable0;
     const double predicted = setup_.predicted_comparable_seconds;
     metrics.gauge("costmodel.predicted_comparable_s").Set(predicted);
     metrics.gauge("costmodel.measured_comparable_s").Set(measured);

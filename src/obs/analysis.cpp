@@ -15,7 +15,15 @@ constexpr const char* kEngineCat = "engine";
 
 bool IsCommOp(const std::string& name) {
   return name == "alltoall" || name == "allreduce" || name == "allbroadcast" ||
-         name == "wait" || name == "fault.collective";
+         name == "wait" || name == "fault.collective" || name == "pipeline.stall";
+}
+
+/// Pipelined replay tags comm-STREAM slices with {"stream":"comm"}; they
+/// live on the gpuN.comm lanes and are accounted separately so the
+/// compute-timeline phase maxima keep matching EpochStats.
+bool IsCommStreamSlice(const SliceRec& s) {
+  const auto it = s.str_args.find("stream");
+  return it != s.str_args.end() && it->second == "comm";
 }
 
 double MapOr(const std::map<std::string, double>& m, const std::string& k,
@@ -41,10 +49,22 @@ struct LaneSlices {
 
 /// Reconstructs the chain of slices that determines the track's end time by
 /// walking backward from t_end: at each cursor position pick the slice that
-/// ends there (preferring real work over barrier waits, and staying on the
-/// current lane when possible); when nothing ends at the cursor, fall into a
-/// slice spanning it (truncated) or an idle gap. Segment durations sum to
-/// t_end - t_begin by construction.
+/// ends there (preferring real work over pipeline stalls over barrier waits,
+/// and staying on the current lane when possible); when nothing ends at the
+/// cursor, fall into a slice spanning it (truncated) or an idle gap. Segment
+/// durations sum to t_end - t_begin by construction.
+///
+/// A pipeline stall is idle time waiting on the comm stream, so the comm
+/// chunk whose delivery released the stalled compute is the true critical
+/// work: ranking stalls below real ops lets the walk pivot onto the comm
+/// lane through stall windows instead of attributing the wait to the stall
+/// slice itself.
+int SliceRank(const SliceRec* s) {
+  if (s->name == "wait") return 0;
+  if (s->name == "pipeline.stall") return 2;
+  return 4;
+}
+
 void BuildCriticalPath(const std::vector<LaneSlices>& lanes, double t_begin,
                        double t_end, TraceAnalysis* out) {
   const double tol = 1e-9 * std::max(1.0, std::abs(t_end)) + 1e-15;
@@ -71,7 +91,7 @@ void BuildCriticalPath(const std::vector<LaneSlices>& lanes, double t_begin,
                                        end_less);
       if (it != l.slices.end() && (*it)->End() <= t + tol) {
         const SliceRec* s = *it;
-        const int score = (s->name != "wait" ? 2 : 0) + (l.lane == cur_lane ? 1 : 0);
+        const int score = SliceRank(s) + (l.lane == cur_lane ? 1 : 0);
         if (score > pick_score) {
           pick = s;
           pick_score = score;
@@ -84,7 +104,7 @@ void BuildCriticalPath(const std::vector<LaneSlices>& lanes, double t_begin,
       }
       if (it != l.slices.end() && (*it)->t0_s < t - tol && (*it)->End() > t + tol) {
         const SliceRec* s = *it;
-        const int score = (s->name != "wait" ? 2 : 0) + (l.lane == cur_lane ? 1 : 0);
+        const int score = SliceRank(s) + (l.lane == cur_lane ? 1 : 0);
         if (score > span_score) {
           spanning = s;
           span_score = score;
@@ -190,8 +210,22 @@ TraceSet AnalyzeSlices(
     std::map<std::int32_t, std::map<std::string, double>> lane_comm;
     std::map<std::int32_t, std::map<std::string, double>> lane_op;
     std::map<std::string, std::map<std::int32_t, double>> stage_lane;
+    std::map<std::int32_t, std::map<std::string, double>> comm_stream_lane;
     std::map<std::int32_t, LaneSlices> lanes;
     for (const SliceRec* s : device) {
+      if (IsCommStreamSlice(*s)) {
+        // Comm-stream slice: its own per-phase accounting, and it still
+        // joins the critical-path lanes — the path walks BOTH streams.
+        comm_stream_lane[s->lane][s->cat] += s->dur_s;
+        a.comm_stream_total_s[s->cat] += s->dur_s;
+        if (s->dur_s > 0.0) {
+          LaneSlices& l = lanes[s->lane];
+          l.lane = s->lane;
+          l.slices.push_back(s);
+        }
+        continue;
+      }
+      if (s->name == "pipeline.stall") a.stall_total_s += s->dur_s;
       lane_phase[s->lane][s->cat] += s->dur_s;
       a.phase_total_s[s->cat] += s->dur_s;
       if (IsCommOp(s->name)) {
@@ -210,9 +244,15 @@ TraceSet AnalyzeSlices(
       }
     }
     a.num_device_lanes = static_cast<std::int32_t>(lane_phase.size());
+    a.num_comm_lanes = static_cast<std::int32_t>(comm_stream_lane.size());
     for (const auto& [lane, phases] : lane_phase) {
       for (const auto& [cat, v] : phases) {
         a.phase_max_s[cat] = std::max(MapOr(a.phase_max_s, cat, 0.0), v);
+      }
+    }
+    for (const auto& [lane, phases] : comm_stream_lane) {
+      for (const auto& [cat, v] : phases) {
+        a.comm_stream_max_s[cat] = std::max(MapOr(a.comm_stream_max_s, cat, 0.0), v);
       }
     }
     for (const auto& [lane, phases] : lane_comm) {
@@ -365,6 +405,14 @@ void WriteTrackReport(std::ostream& os, const TraceAnalysis& a) {
     for (const auto& [op, v] : a.comm_by_op_s) os << "  " << op << "=" << Ms(v);
     os << "\n";
   }
+  if (a.num_comm_lanes > 0) {
+    double busy = 0.0;
+    for (const auto& [cat, v] : a.comm_stream_total_s) busy += v;
+    os << "  pipeline: comm-stream busy " << Ms(busy) << "  exposed "
+       << Ms(a.stall_total_s) << "  overlap efficiency " << std::fixed
+       << std::setprecision(1) << a.OverlapEfficiency() * 100.0 << "%  ("
+       << a.num_comm_lanes << " comm lanes)\n";
+  }
   if (!a.traffic_bytes.empty()) {
     os << "  traffic bytes:";
     for (const auto& [cls, bytes] : a.traffic_bytes) os << "  " << cls << "=" << bytes;
@@ -405,6 +453,13 @@ double TraceAnalysis::StackedSeconds() const {
 double TraceAnalysis::ComparableSeconds() const {
   return MapOr(phase_max_s, "sample", 0.0) + MapOr(phase_max_s, "load", 0.0) +
          MapOr(comm_max_s, "train", 0.0);
+}
+
+double TraceAnalysis::OverlapEfficiency() const {
+  double busy = 0.0;
+  for (const auto& [cat, v] : comm_stream_total_s) busy += v;
+  if (busy <= 0.0) return 0.0;
+  return std::min(1.0, std::max(0.0, (busy - stall_total_s) / busy));
 }
 
 const TraceAnalysis* TraceSet::ByStrategy(const std::string& strategy) const {
@@ -609,6 +664,11 @@ DiffReport DiffAnalyses(const TraceAnalysis& a, const TraceAnalysis& b,
   merge_maps("phase/", a.phase_max_s, b.phase_max_s);
   merge_maps("comm/", a.comm_max_s, b.comm_max_s);
   merge_maps("comm_op/", a.comm_by_op_s, b.comm_by_op_s);
+  merge_maps("comm_stream/", a.comm_stream_max_s, b.comm_stream_max_s);
+  if (a.num_comm_lanes > 0 || b.num_comm_lanes > 0) {
+    put("pipeline/exposed_s", a.stall_total_s, b.stall_total_s);
+    put("pipeline/overlap_efficiency", a.OverlapEfficiency(), b.OverlapEfficiency());
+  }
   merge_maps("critical/", a.critical_by_name_s, b.critical_by_name_s);
   for (const auto& [k, v] : a.by_name) {
     const auto it = b.by_name.find(k);

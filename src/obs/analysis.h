@@ -83,9 +83,23 @@ struct TraceAnalysis {
   /// reproduces EpochStats::sim_seconds.
   std::map<std::string, double> phase_max_s;
   std::map<std::string, double> phase_total_s;
-  /// Communication share of each phase (collective busy + barrier wait),
+  /// Communication share of each phase (collective busy + barrier wait,
+  /// plus pipeline stalls — the EXPOSED communication in pipelined runs),
   /// max over lanes — reproduces SimContext::CommMax per phase.
   std::map<std::string, double> comm_max_s;
+
+  // --- pipelined comm-stream accounting (zero in serial runs) -------------
+  /// Comm-stream lanes ("gpuN.comm") that recorded any slice.
+  std::int32_t num_comm_lanes = 0;
+  /// Per-phase comm-STREAM busy time (slices tagged {"stream":"comm"} by
+  /// the pipelined replay): max over comm lanes / total across them.
+  /// Deliberately excluded from phase_max_s/phase_total_s so
+  /// StackedSeconds keeps matching EpochStats::sim_seconds.
+  std::map<std::string, double> comm_stream_max_s;
+  std::map<std::string, double> comm_stream_total_s;
+  /// Total "pipeline.stall" time on the compute lanes: communication the
+  /// overlap failed to hide.
+  double stall_total_s = 0.0;
 
   /// Per-stage sums keyed "cat/name" (e.g. "train/alltoall", "sample/gather",
   /// "load/load", "train/wait"), device lanes only.
@@ -117,6 +131,10 @@ struct TraceAnalysis {
   /// (compute is identical across strategies, so only train's shuffle share
   /// participates in strategy choice).
   double ComparableSeconds() const;
+  /// Fraction of comm-stream busy time hidden under compute:
+  /// 1 - exposed/busy, clamped to [0, 1]. Zero when the run was serial
+  /// (no comm-stream activity).
+  double OverlapEfficiency() const;
 };
 
 /// Whole-file (or whole-Tracer) analysis result.

@@ -102,6 +102,35 @@ void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
 #endif
 }
 
+void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
+                 const char* name, const char* cat, const TraceArg* args,
+                 int num_args) {
+#if APT_OBS_ENABLED
+  TraceEvent e;
+  e.ts_us = t0_s * 1e6;
+  e.dur_us = (t1_s - t0_s) * 1e6;
+  e.pid = pid;
+  e.tid = lane;
+  e.ph = 'X';
+  e.domain = Domain::kSim;
+  e.name = name;
+  e.cat = cat;
+  for (int i = 0; i < num_args && e.num_args < kMaxTraceArgs; ++i) {
+    e.args[static_cast<std::size_t>(e.num_args++)] = args[i];
+  }
+  Tracer::Global().Emit(e);
+#else
+  (void)pid;
+  (void)lane;
+  (void)t0_s;
+  (void)t1_s;
+  (void)name;
+  (void)cat;
+  (void)args;
+  (void)num_args;
+#endif
+}
+
 void EmitSimCounter(std::int32_t pid, double t_s, const char* name,
                     std::initializer_list<TraceArg> args) {
 #if APT_OBS_ENABLED

@@ -173,6 +173,13 @@ void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
                  const char* name, const char* cat,
                  std::initializer_list<TraceArg> args = {});
 
+/// EmitSimSpan overload taking a pre-built arg array: the pipelined replay
+/// composes slice annotations dynamically (stream tag + micro-batch index +
+/// the captured op's own args), which an initializer_list cannot express.
+void EmitSimSpan(std::int32_t pid, std::int32_t lane, double t0_s, double t1_s,
+                 const char* name, const char* cat, const TraceArg* args,
+                 int num_args);
+
 /// Emits a counter sample on a simulated track at simulated time `t_s`.
 /// The arg keys become the counter's series names.
 void EmitSimCounter(std::int32_t pid, double t_s, const char* name,

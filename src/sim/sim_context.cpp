@@ -55,6 +55,7 @@ SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
   clocks_.assign(n, 0.0);
   phase_time_.assign(n, {});
   comm_time_.assign(n, {});
+  comm_stream_time_.assign(n, {});
   persistent_bytes_.assign(n, 0);
   peak_bytes_.assign(n, 0);
 }
@@ -67,13 +68,16 @@ std::string SimContext::ObsTrackLabel() const {
 std::int32_t SimContext::ObsPid() const {
   if (obs_pid_ < 0) {
     std::vector<std::string> lanes;
-    lanes.reserve(static_cast<std::size_t>(num_devices()) + 1);
+    lanes.reserve(2 * static_cast<std::size_t>(num_devices()) + 1);
     for (DeviceId d = 0; d < num_devices(); ++d) {
       lanes.push_back("gpu" + std::to_string(d));
     }
+    for (DeviceId d = 0; d < num_devices(); ++d) {
+      lanes.push_back("gpu" + std::to_string(d) + ".comm");  // ObsCommLane
+    }
     lanes.push_back("steps");  // ObsStepLane: engine markers
     obs_pid_ = obs::Tracer::Global().RegisterSimTrack(
-        ObsTrackLabel(), num_devices() + 1, std::move(lanes));
+        ObsTrackLabel(), 2 * num_devices() + 1, std::move(lanes));
   }
   return obs_pid_;
 }
@@ -84,6 +88,21 @@ void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
                                  bool comm) {
   APT_CHECK_GE(dt, 0.0) << "negative time step";
   const std::size_t i = Check(dev);
+  if (pipeline_depth_ > 1) {
+    // Capturing: defer to the micro-batch replay at EndPipelinedStep.
+    PipelineOp op;
+    op.dev = dev;
+    op.dt = dt;
+    op.phase = phase;
+    op.label = label;
+    op.comm = comm;
+    for (const obs::TraceArg& a : args) {
+      if (op.num_args == obs::kMaxTraceArgs) break;
+      op.args[static_cast<std::size_t>(op.num_args++)] = a;
+    }
+    pipeline_tape_.push_back(op);
+    return;
+  }
   const double t0 = clocks_[i];
   clocks_[i] += dt;
   phase_time_[i][static_cast<std::size_t>(phase)] += dt;
@@ -101,6 +120,15 @@ void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
 void SimContext::BarrierAll(Phase phase) {
   if (poisoned_) {
     throw BarrierPoisonedError("barrier poisoned: " + poison_reason_);
+  }
+  if (pipeline_depth_ > 1) {
+    // Capturing: the barrier becomes a per-micro-batch stream-sync point
+    // (poison still throws above — it must surface immediately).
+    PipelineOp op;
+    op.dev = -1;
+    op.phase = phase;
+    pipeline_tape_.push_back(op);
+    return;
   }
   const double target = MaxNow();
   const bool tracing = obs::TracingEnabled();
@@ -127,6 +155,7 @@ void SimContext::ResetClocks() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   for (auto& p : phase_time_) p.fill(0.0);
   for (auto& p : comm_time_) p.fill(0.0);
+  for (auto& p : comm_stream_time_) p.fill(0.0);
 }
 
 double SimContext::PhaseTotal(Phase phase) const {
@@ -154,6 +183,18 @@ double SimContext::CommOf(DeviceId dev, Phase phase) const {
 double SimContext::CommMax(Phase phase) const {
   double t = 0.0;
   for (const auto& p : comm_time_) {
+    t = std::max(t, p[static_cast<std::size_t>(phase)]);
+  }
+  return t;
+}
+
+double SimContext::CommStreamOf(DeviceId dev, Phase phase) const {
+  return comm_stream_time_[Check(dev)][static_cast<std::size_t>(phase)];
+}
+
+double SimContext::CommStreamMax(Phase phase) const {
+  double t = 0.0;
+  for (const auto& p : comm_stream_time_) {
     t = std::max(t, p[static_cast<std::size_t>(phase)]);
   }
   return t;

@@ -106,17 +106,89 @@ class SimContext {
   /// Checked after every advance in debug builds; callable from tests.
   void DebugCheckClockInvariant() const;
 
+  // --- pipelined micro-batch execution ---------------------------------
+  //
+  // Each logical GPU owns TWO virtual timelines: the compute stream (the
+  // device clock above) and a communication stream. In serial mode
+  // (depth 1) the comm stream is unused and every advance lands on the
+  // device clock exactly as before. In pipelined mode the engine wraps one
+  // training step in Begin/EndPipelinedStep(depth): advances issued inside
+  // the scope are CAPTURED to a tape instead of moving clocks, then the
+  // scope exit replays the tape as `depth` micro-batches. Each captured op
+  // is split into `depth` equal chunks; chunks whose op was a collective
+  // (AdvanceComm) or a feature gather (Phase::kLoad) are scheduled on the
+  // comm stream, everything else on the compute stream. Micro-batch m's
+  // chunks chain in program order; across micro-batches the two streams
+  // overlap freely, subject to (a) stream serialization (one op at a time
+  // per stream), (b) double buffering (micro-batch m's communication waits
+  // for micro-batch m-2's compute to release its buffer), and (c) barriers,
+  // which join all devices' chains of the SAME micro-batch — the explicit
+  // stream-sync points.
+  //
+  // Accounting: the device clock remains the COMPUTE timeline. Compute
+  // chunks charge their phase as usual; comm chunks charge the separate
+  // comm-stream accounting (CommStreamOf/CommStreamMax) and a "gpuN.comm"
+  // trace lane. Gaps where the compute stream sits waiting on communication
+  // are charged as phase + comm time and traced as "pipeline.stall" — so
+  // the clock invariant holds unchanged and CommOf/CommMax report the
+  // EXPOSED (non-overlapped) communication.
+  //
+  // Modeling deviation (documented, deliberate): durations and fault
+  // evaluation use the clocks frozen at the step start, because the real
+  // arithmetic still executes serially — pipelining is purely a timing
+  // model. Model parameters are therefore bit-identical at every depth.
+
+  /// Starts capturing one pipelined step. depth >= 2; scopes cannot nest.
+  void BeginPipelinedStep(int depth);
+  /// Replays the captured tape as `depth` micro-batches, advancing clocks,
+  /// phase/comm accounting and comm-stream time. Safe to call with an
+  /// exception in flight (the engine's fault path): partial tapes replay so
+  /// partially-charged faults still land on the clocks.
+  void EndPipelinedStep();
+  bool PipelineCapturing() const { return pipeline_depth_ > 1; }
+  /// Depth of the step being captured; 1 outside a pipelined scope.
+  int PipelineDepth() const { return pipeline_depth_; }
+
+  /// RAII wrapper for Begin/EndPipelinedStep; no-op at depth <= 1, and
+  /// replays on destruction even when the step throws (collective faults).
+  class PipelinedStepScope {
+   public:
+    PipelinedStepScope(SimContext& sim, int depth)
+        : sim_(depth > 1 ? &sim : nullptr) {
+      if (sim_ != nullptr) sim_->BeginPipelinedStep(depth);
+    }
+    ~PipelinedStepScope() {
+      if (sim_ != nullptr) sim_->EndPipelinedStep();
+    }
+    PipelinedStepScope(const PipelinedStepScope&) = delete;
+    PipelinedStepScope& operator=(const PipelinedStepScope&) = delete;
+
+   private:
+    SimContext* sim_;
+  };
+
+  /// Comm-stream busy seconds (overlapped communication) per device / max
+  /// over devices, attributed to `phase`. Zero unless pipelined steps ran.
+  double CommStreamOf(DeviceId dev, Phase phase) const;
+  double CommStreamMax(Phase phase) const;
+
   /// Trace pid of this context's simulated track (one lane per device plus
   /// one marker lane, see ObsStepLane), registered with the global tracer on
   /// first use (const: lazy registration is observability, not simulation
   /// state).
   std::int32_t ObsPid() const;
 
+  /// Lane on this context's track for dev's COMM stream ("gpuN.comm").
+  /// Only pipelined replay emits here; the lane is idle in serial runs.
+  std::int32_t ObsCommLane(DeviceId dev) const {
+    return num_devices() + static_cast<std::int32_t>(Check(dev));
+  }
+
   /// Lane on this context's track reserved for engine-level markers (step /
   /// epoch spans with strategy annotations). Device slices never land here,
   /// so markers can overlap device activity without corrupting lanes — and
   /// the trace analyzer uses them to delimit steps and label strategies.
-  std::int32_t ObsStepLane() const { return num_devices(); }
+  std::int32_t ObsStepLane() const { return 2 * num_devices(); }
 
   /// Display label of this context's trace track ("2m x 4gpu").
   std::string ObsTrackLabel() const;
@@ -213,6 +285,22 @@ class SimContext {
   void AdvanceInternal(DeviceId dev, double dt, Phase phase, const char* label,
                        std::initializer_list<obs::TraceArg> args, bool comm);
 
+  /// One captured advance (dev >= 0) or barrier (dev < 0) on the pipeline
+  /// tape. Labels/arg strings are literals (same lifetime rule as TraceArg).
+  struct PipelineOp {
+    DeviceId dev = -1;
+    double dt = 0.0;
+    Phase phase = Phase::kTrain;
+    const char* label = nullptr;
+    bool comm = false;
+    std::int8_t num_args = 0;
+    std::array<obs::TraceArg, obs::kMaxTraceArgs> args{};
+  };
+
+  /// Schedules the tape as `depth` micro-batches over the compute + comm
+  /// streams and commits the resulting times (see sim_pipeline.cpp).
+  void ReplayPipeline(const std::vector<PipelineOp>& tape, int depth);
+
   /// One-shot fault.* metric + trace emission when a straggler/link fault is
   /// first seen active (const: observation does not change simulation state).
   void NoteStragglerObserved(std::size_t fault_index, DeviceId dev,
@@ -223,6 +311,12 @@ class SimContext {
   std::vector<double> clocks_;
   std::vector<std::array<double, kNumPhases>> phase_time_;
   std::vector<std::array<double, kNumPhases>> comm_time_;
+  /// Comm-STREAM busy time (overlapped communication, pipelined replay
+  /// only); deliberately outside the clock invariant — the device clock
+  /// tracks the compute timeline.
+  std::vector<std::array<double, kNumPhases>> comm_stream_time_;
+  int pipeline_depth_ = 1;  ///< >1 while capturing a pipelined step
+  std::vector<PipelineOp> pipeline_tape_;
   std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
       traffic_bytes_{};
   std::vector<std::int64_t> persistent_bytes_;

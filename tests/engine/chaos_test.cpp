@@ -290,6 +290,100 @@ TEST(ChaosTest, SeededChaosIsBitReproducibleAndTraced) {
   EXPECT_EQ(run1->recovery_stats().retries, run2->recovery_stats().retries);
 }
 
+TEST(ChaosTest, PipelinedStepRetryIsBitIdenticalAfterMidPipelineFailure) {
+  // Pipelined execution changes WHEN charges land (capture + overlapped
+  // replay), not WHAT runs: a collective fault that unwinds mid-pipeline
+  // must replay the partial tape, back off, re-fork the SAME per-step rng
+  // stream, and leave the model bit-identical to the undisturbed pipelined
+  // run — and to the serial engine.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  // NFP keeps its broadcast + gathers + loss allreduce INSIDE the pipelined
+  // step scope, so the injected faults genuinely strike mid-pipeline.
+  auto piped = [&](const FaultPlan& plan, RecoveryOptions recovery = {}) {
+    auto t = MakeTrainer(ds, cluster, Strategy::kNFP, ModelKind::kSage,
+                         /*force_chunked=*/true, 1 << 20, {5, 5}, 128, 0,
+                         recovery, /*pipeline_depth=*/4);
+    t->sim().InstallFaults(plan);
+    return t;
+  };
+  auto serial = MakeTrainer(ds, cluster, Strategy::kNFP);
+  auto clean = piped(FaultPlan{});
+
+  FaultPlan plan;
+  plan.collectives.push_back({.after_bytes = 1000});
+  plan.collectives.push_back({.after_bytes = 50000});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  auto chaotic = piped(plan, recovery);
+
+  const EpochStats s0 = serial->TrainEpoch(0);
+  const EpochStats a = clean->TrainEpoch(0);
+  const EpochStats b = chaotic->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  EXPECT_DOUBLE_EQ(s0.loss, b.loss);
+  EXPECT_EQ(MaxParamDiff(clean->model0(), chaotic->model0()), 0.0);
+  EXPECT_EQ(MaxParamDiff(serial->model0(), chaotic->model0()), 0.0);
+  EXPECT_GT(b.sim_seconds, a.sim_seconds);  // failed fraction + backoff
+
+  const RecoveryStats& rs = chaotic->recovery_stats();
+  EXPECT_EQ(rs.collective_failures, 2);
+  EXPECT_EQ(rs.retries, 2);
+  EXPECT_EQ(rs.giveups, 0);
+}
+
+TEST(ChaosTest, PipelinedGiveupFlightDumpRecordsInFlightMicrobatch) {
+  // When a pipelined run's retry budget is exhausted, the post-mortem
+  // flight dump must pin down WHICH micro-batch's collective was in flight
+  // ("microbatch" arg on every collective.fail event, in [0, depth-1]).
+  const std::string dir = ::testing::TempDir() + "pipeline_flight";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  obs::Flight().SetDumpDir(dir);
+  obs::Flight().Clear();
+
+  const Dataset ds = SmallDataset();
+  constexpr int kDepth = 4;
+  FaultPlan plan;
+  for (int i = 0; i < 5; ++i) plan.collectives.push_back({.after_bytes = 0});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  recovery.max_retries_per_step = 3;
+  auto chaotic = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kNFP,
+                             ModelKind::kSage, /*force_chunked=*/true, 1 << 20,
+                             {5, 5}, 128, 0, recovery, kDepth);
+  chaotic->sim().InstallFaults(plan);
+  EXPECT_THROW(chaotic->TrainEpoch(0), CollectiveError);
+
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("flight_", 0) == 0) dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJsonFile(dumps[0], &doc, &error)) << error;
+  const obs::JsonValue* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  int fails_seen = 0;
+  for (const obs::JsonValue& e : events->arr) {
+    const std::string* kind = e.StrOrNull("kind");
+    if (kind == nullptr || *kind != "collective.fail") continue;
+    const obs::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    const double mb = args->NumOr("microbatch", -1.0);
+    EXPECT_GE(mb, 0.0);
+    EXPECT_LE(mb, static_cast<double>(kDepth - 1));
+    ++fails_seen;
+  }
+  EXPECT_GE(fails_seen, 1);
+
+  std::filesystem::remove_all(dir);
+  obs::Flight().SetDumpDir(::testing::TempDir());
+}
+
 TEST(ChaosTest, ResilientRunnerSurvivesAndReplans) {
   // The ISSUE's acceptance scenario: straggler + flapping link + a mid-run
   // collective failure, driven through the full Plan -> Run workflow. The

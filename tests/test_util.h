@@ -41,7 +41,7 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
     ModelKind kind = ModelKind::kSage, bool force_chunked = true,
     std::int64_t cache_bytes = 1 << 20, std::vector<int> fanouts = {5, 5},
     std::int64_t batch = 128, std::int64_t hidden = 0,
-    RecoveryOptions recovery = {}) {
+    RecoveryOptions recovery = {}, int pipeline_depth = 1) {
   ModelConfig model;
   model.kind = kind;
   model.num_layers = static_cast<int>(fanouts.size());
@@ -58,6 +58,7 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
   opts.seed_assignment = force_chunked ? SeedAssignment::kChunked
                                        : EngineOptions::DefaultAssignment(strategy);
   opts.recovery = recovery;
+  opts.pipeline_depth = pipeline_depth;
 
   MultilevelPartitioner part;
   std::vector<PartId> partition = part.Partition(ds.graph, cluster.num_devices());
