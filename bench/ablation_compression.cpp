@@ -1,0 +1,125 @@
+// Ablation of feature/gradient compression: the four strategies on the
+// comm-bound fat-feature configuration (the ablation_pipeline config) as the
+// wire/storage/gradient codec sweeps identity -> bf16 -> int8, plus a
+// delta+bitmask row that compresses only the gradient allreduce. Codecs
+// change per-row VALUES (bf16/int8 quantization) but quantization rounds in
+// a canonical producer-side order, so quantized GDP and DNP still train the
+// identical model — the sweep isolates the wire-byte and epoch-time win.
+//
+// The headline record carries the three acceptance numbers on SNP — the
+// strategy the planner itself selects once codecs are on:
+//   * bf16 wire-byte saving vs fp32 over the whole epoch's traffic
+//     (shuffle + load + allreduce; bar: >= 45%),
+//   * bf16 epoch sim-time saving at depth 1, where every wire byte is on
+//     the critical path (bar: >= 10%),
+//   * the planner's compression-aware estimate error at pipeline depth 4
+//     under bf16 (bar: within 10% — the overlap-aware estimate models the
+//     whole stacked epoch, directly comparable to sim_seconds).
+// GDP and DNP additionally pay the quantized-parity tax: under a lossy wire
+// codec their layer-0 gradient sync runs in exact double precision (the
+// price of the GDP==DNP bit-parity guarantee, DESIGN.md invariant 8), which
+// more than cancels their wire saving on this config. The bench prints that
+// tax; the planner sees it through quantized_sync_seconds and correctly
+// routes around it by picking SNP.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace apt;
+  using namespace apt::bench;
+  SetLogLevel(LogLevel::kWarn);
+  BenchInit("compression", &argc, argv);
+
+  // Fat features (1024 floats/node) and a nearly cold cache put most bytes
+  // on the feature-load and embedding-shuffle paths the codecs compress.
+  const Dataset ds = MakeDataset(WithFeatureDim(PsLikeParams(0.25), 1024));
+  CaseConfig cfg;
+  cfg.dataset = &ds;
+  cfg.cluster = MultiMachineCluster(2, 2);
+  cfg.model = SageConfig(ds, 192);
+  cfg.model.num_layers = 2;
+  cfg.opts = PaperDefaults();
+  cfg.opts.fanouts = {5, 5};
+  cfg.opts.cache_bytes_per_device = ds.FeatureBytes() / 128;
+
+  struct Row {
+    const char* name;
+    Codec wire, storage, grad;
+  };
+  const Row rows[] = {
+      {"identity", Codec::kIdentity, Codec::kIdentity, Codec::kIdentity},
+      {"bf16", Codec::kBf16, Codec::kBf16, Codec::kBf16},
+      {"int8", Codec::kInt8, Codec::kInt8, Codec::kInt8},
+      // Lossless sparse gradients only; features stay fp32.
+      {"delta_grad", Codec::kIdentity, Codec::kIdentity, Codec::kDeltaBitmask},
+  };
+
+  PrintTableHeader("codec (2x2 machines, GraphSAGE, fat features)");
+  double id_wire = 0.0, id_time = 0.0, id_loss = 0.0;
+  double bf16_wire = 0.0, bf16_time = 0.0;
+  double gdp_id_time = 0.0, gdp_bf16_time = 0.0;
+  for (const Row& row : rows) {
+    cfg.opts.pipeline_depth = 1;
+    cfg.opts.wire_codec = row.wire;
+    cfg.opts.storage_codec = row.storage;
+    cfg.opts.grad_codec = row.grad;
+    cfg.label = std::string("compression_") + row.name;
+    const CaseResult r = RunCase(cfg);
+    PrintCaseRow(r);
+    const StrategyResult& gdp = r.of(Strategy::kGDP);
+    const StrategyResult& snp = r.of(Strategy::kSNP);
+    if (std::string(row.name) == "identity") {
+      id_wire = static_cast<double>(snp.traffic_wire_bytes);
+      id_time = snp.epoch.sim_seconds;
+      id_loss = gdp.epoch.loss;
+      gdp_id_time = gdp.epoch.sim_seconds;
+    } else if (std::string(row.name) == "bf16") {
+      bf16_wire = static_cast<double>(snp.traffic_wire_bytes);
+      bf16_time = snp.epoch.sim_seconds;
+      gdp_bf16_time = gdp.epoch.sim_seconds;
+      std::printf("  bf16 GDP loss %.4f vs fp32 %.4f\n", gdp.epoch.loss, id_loss);
+    }
+  }
+
+  // Planner acceptance at depth 4, where Comparable() models the stacked
+  // epoch and is directly comparable to the measured sim_seconds. Measured
+  // on the planner's own pick under bf16 (SNP on this config).
+  cfg.opts.pipeline_depth = 4;
+  cfg.opts.wire_codec = Codec::kBf16;
+  cfg.opts.storage_codec = Codec::kBf16;
+  cfg.opts.grad_codec = Codec::kBf16;
+  cfg.label = "compression_bf16_d4";
+  const CaseResult d4 = RunCase(cfg);
+  PrintCaseRow(d4);
+  const StrategyResult& snp_d4 = d4.of(Strategy::kSNP);
+  const double est_rel_err =
+      snp_d4.epoch.sim_seconds > 0.0
+          ? (snp_d4.estimate.Comparable() - snp_d4.epoch.sim_seconds) /
+                snp_d4.epoch.sim_seconds
+          : 0.0;
+
+  const double wire_saving = id_wire > 0.0 ? 1.0 - bf16_wire / id_wire : 0.0;
+  const double time_saving = id_time > 0.0 ? 1.0 - bf16_time / id_time : 0.0;
+  std::printf("\nSNP bf16 wire-byte saving vs fp32: %.1f%%\n", wire_saving * 100.0);
+  std::printf("SNP bf16 epoch sim-time saving vs fp32: %.1f%%\n",
+              time_saving * 100.0);
+  std::printf(
+      "GDP quantized-parity tax (double layer-0 sync): %.2fms -> %.2fms under "
+      "bf16; planner routes around it via SNP\n",
+      gdp_id_time * 1e3, gdp_bf16_time * 1e3);
+  std::printf(
+      "planner estimate (SNP, bf16, depth 4): %.4fs vs measured %.4fs (%+.1f%%)\n",
+      snp_d4.estimate.Comparable(), snp_d4.epoch.sim_seconds,
+      est_rel_err * 100.0);
+  {
+    std::ostringstream os;
+    os << "{\"scenario\":\"headline\",\"bf16_wire_saving\":" << wire_saving
+       << ",\"bf16_time_saving\":" << time_saving
+       << ",\"bf16_estimate_rel_err\":" << est_rel_err << "}";
+    AddRecord(os.str());
+  }
+  return BenchFinish();
+}

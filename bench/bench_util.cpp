@@ -85,6 +85,9 @@ void RecordCase(const CaseResult& result) {
     WriteEpochJson(w, r.epoch);
     w.KV("oom", r.oom);
     w.KV("estimate_comparable_seconds", r.estimate.Comparable());
+    // sim_* byte counts are deterministic and gate at a near-zero threshold.
+    w.KV("sim_traffic_bytes", r.traffic_bytes);
+    w.KV("sim_compressed_bytes", r.traffic_wire_bytes);
     w.EndObject();
   }
   w.EndObject();
@@ -283,6 +286,12 @@ CaseResult RunCase(const CaseConfig& config) {
     sr.epoch.comm_sample_seconds = sum.comm_sample_seconds * inv;
     sr.epoch.comm_train_seconds = sum.comm_train_seconds * inv;
     sr.oom = trainer.sim().AnyOom();
+    for (std::size_t c = 0; c < static_cast<std::size_t>(TrafficClass::kNumClasses);
+         ++c) {
+      sr.traffic_bytes += trainer.sim().TrafficBytes(static_cast<TrafficClass>(c));
+      sr.traffic_wire_bytes +=
+          trainer.sim().TrafficWireBytes(static_cast<TrafficClass>(c));
+    }
   }
   return result;
 }

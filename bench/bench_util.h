@@ -39,6 +39,11 @@ struct StrategyResult {
   EpochStats epoch;       ///< averaged over measured epochs
   bool oom = false;       ///< simulated device memory exceeded
   CostEstimate estimate;  ///< planner's view
+  /// Simulated traffic over the whole run (all classes, all epochs):
+  /// logical fp32 bytes and what actually crossed the links after the wire /
+  /// storage / gradient codecs. Equal when no codec is configured.
+  std::int64_t traffic_bytes = 0;
+  std::int64_t traffic_wire_bytes = 0;
 };
 
 struct CaseResult {

@@ -7,6 +7,7 @@
 //           reference; also reports the dry-run overhead against the time
 //           to reach the target accuracy.
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "bench_util.h"
@@ -75,6 +76,35 @@ int main(int argc, char** argv) {
                   acc[i][static_cast<std::size_t>(e)]);
     }
     std::printf("\n");
+  }
+
+  // Compression accuracy check: GDP under lossy wire/storage codecs must
+  // land within a small end-task tolerance of the fp32 run — quantization
+  // perturbs the arithmetic, unlike the strategy sweep above, so the curves
+  // are close but not identical.
+  std::printf("\n=== Quantized accuracy (GDP, %d epochs) ===\n", epochs);
+  const double fp32_final = acc[0].back();
+  for (Codec codec : {Codec::kBf16, Codec::kInt8}) {
+    EngineOptions qopts = opts;
+    qopts.wire_codec = codec;
+    qopts.storage_codec = codec;
+    qopts.grad_codec = codec;
+    ParallelTrainer trainer(
+        ds, BuildTrainerSetup(cluster, model, qopts, partition, plan.dryrun,
+                              Strategy::kGDP));
+    double q_acc = 0.0, q_loss = 0.0;
+    for (int e = 0; e < epochs; ++e) {
+      q_loss = trainer.TrainEpoch(e).loss;
+      q_acc = trainer.EvaluateAccuracy(ds.test_nodes);
+    }
+    const double gap = q_acc - fp32_final;
+    std::printf("%-10s final acc %.3f (fp32 %.3f, gap %+.4f) loss %.4f\n",
+                ToString(codec), q_acc, fp32_final, gap, q_loss);
+    std::ostringstream os;
+    os << "{\"scenario\":\"quantized_accuracy\",\"codec\":\"" << ToString(codec)
+       << "\",\"final_accuracy\":" << q_acc << ",\"fp32_accuracy\":" << fp32_final
+       << ",\"accuracy_gap\":" << gap << ",\"final_loss\":" << q_loss << "}";
+    AddRecord(os.str());
   }
 
   // Dry-run overhead vs training time (the paper reports 25s vs 449s).

@@ -20,6 +20,7 @@
 #include "runtime/thread_pool.h"
 #include "sampling/block.h"
 #include "sampling/neighbor_sampler.h"
+#include "tensor/codec.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "tensor/segment_ops.h"
@@ -211,6 +212,44 @@ void BM_SegmentSoftmax(benchmark::State& state) {
   SetThreadsCounter(state, EffectiveLanes(0));
 }
 BENCHMARK(BM_SegmentSoftmax)->Arg(8192);
+
+void BM_CodecRoundBf16(benchmark::State& state) {
+  // bf16 encode+decode round trip over a feature-gather-sized payload
+  // (rows x 1024 floats). Last arg = fork-join lane limit (0 = all lanes).
+  const std::int64_t rows = 4096, cols = 1024;
+  ScopedParallelismLimit limit(state.range(0) == 0
+                                   ? ThreadPool::Global().ParallelismDegree()
+                                   : state.range(0));
+  Tensor t = RandTensor(rows, cols, 21);
+  for (auto _ : state) {
+    CodecRoundRows(Codec::kBf16, t);
+    benchmark::DoNotOptimize(t.data());
+  }
+  const double bytes = static_cast<double>(rows) * cols * sizeof(float);
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  SetRate(state, "bytes_per_s", bytes);
+  SetThreadsCounter(state, EffectiveLanes(state.range(0)));
+}
+BENCHMARK(BM_CodecRoundBf16)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void BM_CodecRoundInt8(benchmark::State& state) {
+  // int8 per-row symmetric quantization: register-blocked maxabs reduction
+  // plus the scale/clamp pass. Same payload/lane sweep as the bf16 row.
+  const std::int64_t rows = 4096, cols = 1024;
+  ScopedParallelismLimit limit(state.range(0) == 0
+                                   ? ThreadPool::Global().ParallelismDegree()
+                                   : state.range(0));
+  Tensor t = RandTensor(rows, cols, 22);
+  for (auto _ : state) {
+    CodecRoundRows(Codec::kInt8, t);
+    benchmark::DoNotOptimize(t.data());
+  }
+  const double bytes = static_cast<double>(rows) * cols * sizeof(float);
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  SetRate(state, "bytes_per_s", bytes);
+  SetThreadsCounter(state, EffectiveLanes(state.range(0)));
+}
+BENCHMARK(BM_CodecRoundInt8)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void BM_NeighborSampling(benchmark::State& state) {
   static const CsrGraph graph = [] {

@@ -48,6 +48,16 @@ double CumulativeLoadSeconds(const StrategyDryRun& st, const CommProfile& p) {
 
 }  // namespace
 
+namespace {
+
+/// Only GDP and DNP run the canonical quantized layer-0 backward (its extra
+/// sync collectives); NFP/SNP keep the standard float path.
+bool PaysQuantizedSync(Strategy s) {
+  return s == Strategy::kGDP || s == Strategy::kDNP;
+}
+
+}  // namespace
+
 CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun,
                           int pipeline_depth) {
   const StrategyDryRun& st = dryrun.per_strategy[static_cast<std::size_t>(strategy)];
@@ -59,6 +69,8 @@ CostEstimate EstimateCost(Strategy strategy, const DryRunResult& dryrun,
   e.t_sample = st.sample_seconds;
   e.t_compute = st.train_compute_seconds;
   e.t_fixed = dryrun.train_fixed_seconds;
+  e.t_codec = st.codec_seconds +
+              (PaysQuantizedSync(strategy) ? dryrun.quantized_sync_seconds : 0.0);
   e.pipeline_depth = pipeline_depth;
   e.feasible = st.fits_memory;
   return e;
@@ -106,6 +118,13 @@ std::array<CostEstimate, kNumStrategies> ReestimateWithProfile(
     if (load_base > 0.0 && load_deg > 0.0) {
       e.t_load = st.load_seconds * (load_deg / load_base);
     }
+    // Codec compute is device-memory-bound (link faults leave it alone);
+    // only the quantized-sync collectives ride the degraded allreduce.
+    const double arr =
+        SpeedRatio(base.allreduce_bytes_per_s, degraded.allreduce_bytes_per_s);
+    e.t_codec =
+        st.codec_seconds +
+        (PaysQuantizedSync(e.strategy) ? dryrun.quantized_sync_seconds * arr : 0.0);
   }
   return out;
 }
@@ -132,6 +151,9 @@ std::string FormatEstimate(const CostEstimate& e) {
   std::ostringstream os;
   os << ToString(e.strategy) << ": build=" << e.t_build << "s load=" << e.t_load
      << "s shuffle=" << e.t_shuffle << "s";
+  if (e.t_codec > 0.0) {
+    os << " codec=" << e.t_codec << "s";
+  }
   if (e.pipeline_depth > 1) {
     os << " compute=" << e.t_compute << "s depth=" << e.pipeline_depth;
   }
@@ -164,7 +186,9 @@ std::string FormatResidualReport(const CostEstimate& e,
   const Row rows[] = {
       {"t_build (sample)", e.t_build, phase("sample")},
       {"t_load (load)", e.t_load, phase("load")},
-      {"t_shuffle (train comm)", e.t_shuffle, comm("train")},
+      // Codec compute & quantized sync land on the train comm stream, so
+      // they join the shuffle term's measured counterpart.
+      {"t_shuffle (train comm)", e.t_shuffle + e.t_codec, comm("train")},
       {"comparable", e.Comparable(), measured_comparable},
   };
   std::ostringstream os;

@@ -24,6 +24,11 @@ struct CostEstimate {
   double t_sample = 0.0;   ///< sampling share of t_build (compute-bound)
   double t_compute = 0.0;  ///< Execute compute — the overlap partner
   double t_fixed = 0.0;    ///< serial tail: gradient allreduce + optimizer
+  /// Compression compute & sync: wire-codec encode/decode passes for this
+  /// strategy's shuffles plus (GDP/DNP, lossy codecs) the canonical
+  /// quantized layer-0 sync collectives. Zero under the identity codec.
+  /// Rides the comm stream, so it does NOT cancel across strategies.
+  double t_codec = 0.0;
   int pipeline_depth = 1;  ///< EngineOptions::pipeline_depth this was built for
   bool feasible = true;    ///< fits device memory
 
@@ -41,8 +46,8 @@ struct CostEstimate {
   /// differ in how much comm they HIDE, not how much they issue — so it is
   /// added back.
   double Comparable() const {
-    if (pipeline_depth <= 1) return t_build + t_load + t_shuffle;
-    const double comm = (t_build - t_sample) + t_load + t_shuffle;
+    if (pipeline_depth <= 1) return t_build + t_load + t_shuffle + t_codec;
+    const double comm = (t_build - t_sample) + t_load + t_shuffle + t_codec;
     const double steady = comm > t_compute ? comm : t_compute;
     const double ramp =
         (comm < t_compute ? comm : t_compute) / static_cast<double>(pipeline_depth);

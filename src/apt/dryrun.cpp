@@ -151,6 +151,7 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
     in.hotness = res.hotness;
     in.partition = partition;
     in.graph = &dataset.graph;
+    in.storage_codec = opts.storage_codec;
     res.caches[static_cast<std::size_t>(s)] = ConfigureCache(in);
   }
 
@@ -162,6 +163,8 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
   for (Strategy s : kAllStrategies) {
     const auto i = static_cast<std::size_t>(s);
     stores[i] = std::make_unique<FeatureStore>(dataset.features, placement, scratch);
+    // Byte accounting only (CountGather / LoadSeconds): no rounded copy.
+    stores[i]->SetStorageCodec(opts.storage_codec, /*materialize=*/false);
     stores[i]->ConfigureCaches(res.caches[i].cache_nodes,
                                res.caches[i].bytes_per_cached_row);
   }
@@ -400,23 +403,44 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
       (atob > 0 ? static_cast<double>(dnp.graph_shuffle_bytes) / (atob * c) : 0.0) +
       atoa_graph_lat;
   // Hidden-embedding shuffles (forward + backward => factor 2; paper's 2d').
+  // These are float-tensor collectives, so the wire codec shrinks what the
+  // links carry (CodecDenseRatio at the embedding width) and adds an
+  // encode + decode memory pass per transfer (codec_seconds). The identity
+  // codec has ratio 1 and zero codec compute — same numbers as before.
+  const double wire_ratio = CodecDenseRatio(opts.wire_codec, d1);
+  const double mem_bw = m0.gpu.mem_bandwidth_bytes_per_s;
+  const bool wire_compresses = opts.wire_codec != Codec::kIdentity;
   nfp.shuffle_bytes = 2 * nfp.shuffle_rows * d1 * kF * c;  // 2 d' C N_d
   // Forward: ring allreduce of the partial embeddings; backward: allgather
   // (broadcast) of the destination gradients — each at its own profiled
   // operator speed, exactly as the engine issues them.
   const double nfp_vol = static_cast<double>(nfp.shuffle_rows) * d1 * kF;
-  nfp.shuffle_seconds = (arb > 0 ? nfp_vol / arb : 0.0) +
-                        (bcb > 0 ? nfp_vol / bcb : 0.0) + nfp_shuffle_lat;
+  nfp.shuffle_seconds = (arb > 0 ? nfp_vol * wire_ratio / arb : 0.0) +
+                        (bcb > 0 ? nfp_vol * wire_ratio / bcb : 0.0) +
+                        nfp_shuffle_lat;
+  nfp.codec_seconds = wire_compresses ? 2.0 * 2.0 * nfp_vol / mem_bw : 0.0;
   const std::int64_t snp_max_rows = snp_step_rows_sum;
   const std::int64_t dnp_max_rows = dnp_step_rows_sum;
   snp.shuffle_bytes = 2 * snp.shuffle_rows * d1 * kF;  // 2 d' N_vs
   dnp.shuffle_bytes = 2 * dnp.shuffle_rows * d1 * kF;  // 2 d' N_vd
+  for (auto& st : res.per_strategy) {
+    st.shuffle_wire_bytes =
+        static_cast<std::int64_t>(static_cast<double>(st.shuffle_bytes) * wire_ratio);
+  }
   snp.shuffle_seconds =
-      (atob > 0 ? 2.0 * static_cast<double>(snp_max_rows) * d1 * kF / atob : 0.0) +
+      (atob > 0 ? 2.0 * static_cast<double>(snp_max_rows) * d1 * kF * wire_ratio / atob
+                : 0.0) +
       atoa_shuffle_lat;
   dnp.shuffle_seconds =
-      (atob > 0 ? 2.0 * static_cast<double>(dnp_max_rows) * d1 * kF / atob : 0.0) +
+      (atob > 0 ? 2.0 * static_cast<double>(dnp_max_rows) * d1 * kF * wire_ratio / atob
+                : 0.0) +
       atoa_shuffle_lat;
+  snp.codec_seconds = wire_compresses
+                          ? 2.0 * 2.0 * static_cast<double>(snp_max_rows) * d1 * kF / mem_bw
+                          : 0.0;
+  dnp.codec_seconds = wire_compresses
+                          ? 2.0 * 2.0 * static_cast<double>(dnp_max_rows) * d1 * kF / mem_bw
+                          : 0.0;
   // Serial per-step train tail for the pipelined cost model: the gradient
   // ring-allreduce needs every micro-batch's gradients and the optimizer
   // runs after it, so neither overlaps at any pipeline depth. Optimizer
@@ -424,9 +448,28 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
   const double param_bytes = static_cast<double>(probe.ParamBytes());
   const double opt_s =
       m0.gpu.kernel_launch_s + (2.0 * param_bytes / 4.0) / m0.gpu.EffectiveFlops();
+  // Gradient codec: the DDP allreduce carries post-codec bytes (for the
+  // delta codec this is the shape-only worst case — the dry-run cannot see
+  // gradient sparsity) plus an encode/decode pass per step.
+  const double grad_wire_bytes = static_cast<double>(CodecWireBytes(
+      opts.grad_codec, 1, static_cast<std::int64_t>(param_bytes) / kF));
+  const double grad_xcode = opts.grad_codec != Codec::kIdentity
+                                ? 2.0 * param_bytes / mem_bw
+                                : 0.0;
   res.train_fixed_seconds =
       static_cast<double>(steps) *
-      ((arb > 0 ? param_bytes / arb : 0.0) + coll_lat + opt_s);
+      ((arb > 0 ? grad_wire_bytes / arb : 0.0) + coll_lat + opt_s + grad_xcode);
+  // Canonical quantized layer-0 backward (GDP/DNP under a lossy wire codec
+  // on multi-layer SAGE): three extra double allreduces per step — grid
+  // stats, dst counts, and the full layer-0 parameter-grad accumulator.
+  if (CodecIsLossy(opts.wire_codec) && model.kind == ModelKind::kSage &&
+      model.num_layers >= 2) {
+    const double acc_bytes =
+        static_cast<double>((2 * d * d1 + d1) + 2 + 1) * sizeof(double);
+    res.quantized_sync_seconds =
+        static_cast<double>(steps) *
+        ((arb > 0 ? acc_bytes / arb : 0.0) + 3.0 * coll_lat);
+  }
 
   // ---- Memory feasibility. ---------------------------------------------------
   const std::int64_t device_mem = cluster.machines.front().gpu.memory_bytes;

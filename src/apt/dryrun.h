@@ -37,8 +37,13 @@ struct StrategyDryRun {
   std::vector<LoadVolume> load;        ///< per device
   double load_seconds = 0.0;           ///< max over devices
   std::int64_t shuffle_rows = 0;       ///< hidden-embedding rows moved (epoch)
-  std::int64_t shuffle_bytes = 0;      ///< incl. fwd + bwd (2x d' per row)
+  std::int64_t shuffle_bytes = 0;      ///< logical fp32, incl. fwd + bwd
+  std::int64_t shuffle_wire_bytes = 0;  ///< post-wire-codec bytes on the links
   double shuffle_seconds = 0.0;
+  /// Wire-codec encode/decode compute for this strategy's embedding
+  /// shuffles (memory-bound passes over the logical payload; zero under the
+  /// identity codec). Load-side decode is already inside load_seconds.
+  double codec_seconds = 0.0;
   std::int64_t peak_transient_bytes = 0;  ///< max over devices, per step
   /// Execute compute for the epoch: per-step max over devices of the full
   /// forward+backward flop time, summed over steps. Strategy-independent in
@@ -62,6 +67,11 @@ struct DryRunResult {
   /// optimizer update. Strategy-independent; used by the overlap-aware
   /// CostEstimate::Comparable() at pipeline_depth > 1.
   double train_fixed_seconds = 0.0;
+  /// Extra per-epoch collective time of the canonical quantized layer-0
+  /// backward (three double allreduces per step). Zero unless the wire codec
+  /// is lossy and the model is multi-layer SAGE; charged to the strategies
+  /// that run the quantized path (GDP, DNP) by EstimateCost.
+  double quantized_sync_seconds = 0.0;
   double wall_seconds = 0.0;  ///< host time spent on the dry-run itself
 };
 

@@ -15,21 +15,26 @@ namespace {
 struct CollectiveMetrics {
   obs::Counter& calls;
   obs::Counter& bytes;
+  obs::Counter& wire_bytes;
 };
 
 CollectiveMetrics& AllToAllMetrics() {
-  static CollectiveMetrics m{obs::Metrics::Global().counter("comm.alltoall.calls"),
-                             obs::Metrics::Global().counter("comm.alltoall.bytes")};
+  static CollectiveMetrics m{
+      obs::Metrics::Global().counter("comm.alltoall.calls"),
+      obs::Metrics::Global().counter("comm.alltoall.bytes"),
+      obs::Metrics::Global().counter("comm.alltoall.wire_bytes")};
   return m;
 }
 
 CollectiveMetrics& RingMetrics(const char* label) {
   static CollectiveMetrics allreduce{
       obs::Metrics::Global().counter("comm.allreduce.calls"),
-      obs::Metrics::Global().counter("comm.allreduce.bytes")};
+      obs::Metrics::Global().counter("comm.allreduce.bytes"),
+      obs::Metrics::Global().counter("comm.allreduce.wire_bytes")};
   static CollectiveMetrics broadcast{
       obs::Metrics::Global().counter("comm.allbroadcast.calls"),
-      obs::Metrics::Global().counter("comm.allbroadcast.bytes")};
+      obs::Metrics::Global().counter("comm.allbroadcast.bytes"),
+      obs::Metrics::Global().counter("comm.allbroadcast.wire_bytes")};
   return std::strcmp(label, "allreduce") == 0 ? allreduce : broadcast;
 }
 
@@ -40,19 +45,28 @@ std::vector<std::vector<Tensor>> Communicator::AllToAllTensors(
   const auto c = static_cast<std::size_t>(num_devices());
   APT_CHECK_EQ(parts.size(), c);
   std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+  std::vector<std::vector<std::int64_t>> wire(c, std::vector<std::int64_t>(c, 0));
   std::vector<std::vector<Tensor>> recv(c, std::vector<Tensor>(c));
   for (std::size_t i = 0; i < c; ++i) {
     APT_CHECK_EQ(parts[i].size(), c);
     for (std::size_t j = 0; j < c; ++j) {
-      bytes[i][j] = parts[i][j].bytes();
-      recv[j][i] = parts[i][j];
+      const Tensor& p = parts[i][j];
+      bytes[i][j] = p.bytes();
+      wire[i][j] =
+          i == j ? bytes[i][j]
+                 : CodecWireBytes(wire_codec(ctx_->ClassifyDeviceLink(
+                                      static_cast<DeviceId>(i),
+                                      static_cast<DeviceId>(j))),
+                                  p.rows(), p.cols());
+      recv[j][i] = p;
     }
   }
-  ChargeAllToAll(bytes, phase);
+  ChargeAllToAll(bytes, wire, phase);
   return recv;
 }
 
-void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase) {
+void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase,
+                                bool gradient_sync) {
   const auto c = static_cast<std::size_t>(num_devices());
   APT_CHECK_EQ(tensors.size(), c);
   if (c == 0) return;
@@ -69,8 +83,36 @@ void Communicator::AllReduceSum(std::vector<Tensor*> tensors, Phase phase) {
     Axpy(1.0f, *tensors[i], sum);
   }
   for (std::size_t i = 0; i < c; ++i) *tensors[i] = sum;
-  // Ring allreduce moves 2 * (C-1)/C * bytes per device.
-  ChargeRing(sum.bytes(), /*factor=*/2.0, phase, "allreduce");
+  // Ring allreduce moves 2 * (C-1)/C * bytes per device. Bytes-only codec:
+  // the reduced VALUES above are exact fp32 regardless of codec choice.
+  const Codec codec = gradient_sync ? grad_codec_ : wire_codec(RingClass());
+  ChargeRing(sum.bytes(), CodecWireBytes(codec, sum), /*factor=*/2.0, phase,
+             "allreduce");
+}
+
+void Communicator::AllReduceDoubles(std::vector<std::vector<double>*> vecs,
+                                    ReduceOp op, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(vecs.size(), c);
+  if (c == 0) return;
+  APT_CHECK(vecs[0] != nullptr);
+  std::vector<double> acc = *vecs[0];
+  for (std::size_t i = 1; i < c; ++i) {
+    APT_CHECK(vecs[i] != nullptr);
+    if (vecs[i]->size() != acc.size()) {
+      std::ostringstream os;
+      os << "allreduce(double) size mismatch on device " << i;
+      ctx_->PoisonBarrier(os.str());
+      throw CollectiveError(os.str());
+    }
+    const std::vector<double>& v = *vecs[i];
+    for (std::size_t k = 0; k < acc.size(); ++k) {
+      acc[k] = op == ReduceOp::kSum ? acc[k] + v[k] : std::max(acc[k], v[k]);
+    }
+  }
+  for (std::size_t i = 0; i < c; ++i) *vecs[i] = acc;
+  const auto bytes = static_cast<std::int64_t>(acc.size() * sizeof(double));
+  ChargeRing(bytes, bytes, /*factor=*/2.0, phase, "allreduce");
 }
 
 std::vector<Tensor> Communicator::AllBroadcastTensors(const std::vector<Tensor>& inputs,
@@ -78,8 +120,13 @@ std::vector<Tensor> Communicator::AllBroadcastTensors(const std::vector<Tensor>&
   const auto c = static_cast<std::size_t>(num_devices());
   APT_CHECK_EQ(inputs.size(), c);
   std::int64_t total = 0;
-  for (const auto& t : inputs) total += t.bytes();
-  ChargeRing(total, /*factor=*/1.0, phase, "allbroadcast");
+  std::int64_t wire_total = 0;
+  const Codec codec = wire_codec(RingClass());
+  for (const auto& t : inputs) {
+    total += t.bytes();
+    wire_total += CodecWireBytes(codec, t.rows(), t.cols());
+  }
+  ChargeRing(total, wire_total, /*factor=*/1.0, phase, "allbroadcast");
   return inputs;
 }
 
@@ -92,6 +139,7 @@ void Communicator::GroupReduce(
   APT_CHECK_EQ(index.size(), c);
   APT_CHECK_EQ(out.size(), c);
   std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+  std::vector<std::vector<std::int64_t>> wire(c, std::vector<std::int64_t>(c, 0));
   for (std::size_t i = 0; i < c; ++i) {
     APT_CHECK_EQ(parts[i].size(), c);
     APT_CHECK_EQ(index[i].size(), c);
@@ -107,10 +155,16 @@ void Communicator::GroupReduce(
         APT_CHECK(out[j] != nullptr);
         ScatterAddRows(p, index[i][j], *out[j]);
       }
-      if (i != j) bytes[i][j] = p.bytes();  // local partials are free
+      if (i != j) {
+        bytes[i][j] = p.bytes();  // local partials are free
+        wire[i][j] = CodecWireBytes(
+            wire_codec(ctx_->ClassifyDeviceLink(static_cast<DeviceId>(i),
+                                                static_cast<DeviceId>(j))),
+            p.rows(), p.cols());
+      }
     }
   }
-  ChargeAllToAll(bytes, phase);
+  ChargeAllToAll(bytes, wire, phase);
 }
 
 LinkSpec Communicator::RingBottleneck() const {
@@ -161,47 +215,60 @@ void Communicator::MaybeFailCollective(std::int64_t wire_bytes,
 }
 
 void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
+                                  const std::vector<std::vector<std::int64_t>>& wire,
                                   Phase phase) {
   const auto c = static_cast<std::size_t>(num_devices());
   // Cost every lane up front at the PRE-collective clocks (link faults are
   // evaluated against the time the transfer starts), so a mid-call failure
   // can charge each participant the same completed fraction. Egress of i and
   // ingress of i are serialized on i's adapters; the device is busy for the
-  // larger of the two.
+  // larger of the two. Time moves WIRE (post-codec) bytes.
   std::vector<double> busy(c, 0.0);
   std::vector<std::int64_t> egress_bytes(c, 0), ingress_bytes(c, 0);
-  std::int64_t total_bytes = 0;
+  std::int64_t total_bytes = 0, total_wire = 0;
   for (std::size_t i = 0; i < c; ++i) {
     double egress = 0.0, ingress = 0.0;
+    // Codec compute: lanes whose wire representation differs from the
+    // logical one pay one encode pass at the sender and one decode pass at
+    // the receiver, each a memory-bound sweep over the LOGICAL bytes. The
+    // identity codec keeps wire == bytes on every lane and charges nothing.
+    std::int64_t xcode_bytes = 0;
     for (std::size_t j = 0; j < c; ++j) {
       if (i == j) continue;
       const auto di = static_cast<DeviceId>(i);
       const auto dj = static_cast<DeviceId>(j);
-      if (bytes[i][j] > 0) {
-        egress += ctx_->EffectiveLinkBetween(di, dj).TransferSeconds(bytes[i][j]);
+      if (wire[i][j] > 0) {
+        egress += ctx_->EffectiveLinkBetween(di, dj).TransferSeconds(wire[i][j]);
         egress_bytes[i] += bytes[i][j];
+        total_wire += wire[i][j];
+        if (wire[i][j] != bytes[i][j]) xcode_bytes += bytes[i][j];
       }
-      if (bytes[j][i] > 0) {
-        ingress += ctx_->EffectiveLinkBetween(dj, di).TransferSeconds(bytes[j][i]);
+      if (wire[j][i] > 0) {
+        ingress += ctx_->EffectiveLinkBetween(dj, di).TransferSeconds(wire[j][i]);
         ingress_bytes[i] += bytes[j][i];
+        if (wire[j][i] != bytes[j][i]) xcode_bytes += bytes[j][i];
       }
     }
-    busy[i] = std::max(egress, ingress);
+    busy[i] = std::max(egress, ingress) +
+              static_cast<double>(xcode_bytes) /
+                  ctx_->cluster().device(static_cast<DeviceId>(i)).mem_bandwidth_bytes_per_s;
     total_bytes += egress_bytes[i];
   }
   // Flight/failure attribution uses the coarse link class of the collective
   // as a whole (point-to-point pairs span classes; cross-machine dominates
-  // whenever the cluster has more than one machine).
+  // whenever the cluster has more than one machine). Fault thresholds see
+  // wire bytes: "fail after N bytes" means bytes that actually crossed links.
   const char* a2a_class =
       ToString(ctx_->cluster().num_machines() > 1 ? TrafficClass::kCrossMachine
                                                   : TrafficClass::kPeerGpu);
-  MaybeFailCollective(total_bytes, busy, phase, "alltoall", a2a_class);
+  MaybeFailCollective(total_wire, busy, phase, "alltoall", a2a_class);
   for (std::size_t i = 0; i < c; ++i) {
     for (std::size_t j = 0; j < c; ++j) {
       if (i != j && bytes[i][j] > 0) {
         const auto di = static_cast<DeviceId>(i);
         const auto dj = static_cast<DeviceId>(j);
-        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j]);
+        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j],
+                           wire[i][j]);
       }
     }
     ctx_->AdvanceComm(static_cast<DeviceId>(i), busy[i], phase, "alltoall",
@@ -211,33 +278,46 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
   }
   AllToAllMetrics().calls.Increment();
   AllToAllMetrics().bytes.Add(total_bytes);
+  AllToAllMetrics().wire_bytes.Add(total_wire);
   obs::Flight().Record("collective", "alltoall", ctx_->MaxNow(),
                        {{"bytes", static_cast<double>(total_bytes), nullptr},
+                        {"wire_bytes", static_cast<double>(total_wire), nullptr},
                         {"participants", static_cast<double>(c), nullptr},
                         {"class", 0.0, a2a_class}});
   ctx_->BarrierAll(phase);
 }
 
-void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase phase,
-                              const char* label) {
+void Communicator::ChargeRing(std::int64_t total_bytes,
+                              std::int64_t wire_total_bytes, double factor,
+                              Phase phase, const char* label) {
   CollectiveMetrics& metrics = RingMetrics(label);
   metrics.calls.Increment();
   const std::int32_t c = num_devices();
-  if (c <= 1 || total_bytes <= 0) {
+  if (c <= 1 || wire_total_bytes <= 0) {
     ctx_->BarrierAll(phase);
     return;
   }
   const LinkSpec bottleneck = RingBottleneck();
   const double volume = factor * static_cast<double>(c - 1) / c *
                         static_cast<double>(total_bytes);
+  const double wire_volume = factor * static_cast<double>(c - 1) / c *
+                             static_cast<double>(wire_total_bytes);
+  // Codec compute: one encode of the local contribution plus one decode of
+  // the result, each a memory-bound pass over the logical payload (zero when
+  // the codec left the representation alone, i.e. wire == logical).
+  const double xcode =
+      wire_total_bytes != total_bytes
+          ? 2.0 * static_cast<double>(total_bytes) /
+                ctx_->cluster().device(0).mem_bandwidth_bytes_per_s
+          : 0.0;
   const double t = static_cast<double>(c - 1) * bottleneck.latency_s +
-                   volume / bottleneck.bandwidth_bytes_per_s;
+                   wire_volume / bottleneck.bandwidth_bytes_per_s + xcode;
   // Traffic accounting: each byte crosses C-1 hops in a ring; classify by the
   // bottleneck hop for reporting purposes.
   const bool cross = ctx_->cluster().num_machines() > 1;
   const char* cls =
       ToString(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu);
-  MaybeFailCollective(static_cast<std::int64_t>(volume),
+  MaybeFailCollective(static_cast<std::int64_t>(wire_volume),
                       std::vector<double>(static_cast<std::size_t>(c), t), phase,
                       label, cls);
   // Every device is busy for the whole ring schedule.
@@ -248,10 +328,13 @@ void Communicator::ChargeRing(std::int64_t total_bytes, double factor, Phase pha
                        {"class", 0.0, cls}});
   }
   metrics.bytes.Add(static_cast<std::int64_t>(volume));
+  metrics.wire_bytes.Add(static_cast<std::int64_t>(wire_volume));
   ctx_->CountTraffic(cross ? TrafficClass::kCrossMachine : TrafficClass::kPeerGpu,
-                     static_cast<std::int64_t>(volume));
+                     static_cast<std::int64_t>(volume),
+                     static_cast<std::int64_t>(wire_volume));
   obs::Flight().Record("collective", label, ctx_->MaxNow(),
                        {{"bytes", static_cast<double>(total_bytes), nullptr},
+                        {"wire_bytes", static_cast<double>(wire_volume), nullptr},
                         {"participants", static_cast<double>(c), nullptr},
                         {"class", 0.0, cls}});
   ctx_->BarrierAll(phase);

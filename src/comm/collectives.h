@@ -20,6 +20,7 @@
 // call throws CollectiveError — never a silent hang or time inflation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -27,6 +28,7 @@
 
 #include "core/types.h"
 #include "sim/sim_context.h"
+#include "tensor/codec.h"
 #include "tensor/tensor.h"
 
 namespace apt {
@@ -39,6 +41,30 @@ class Communicator {
   explicit Communicator(SimContext& ctx) : ctx_(&ctx) {}
 
   std::int32_t num_devices() const { return ctx_->num_devices(); }
+
+  // ------------------------------------------------------------------
+  // Wire codecs. Float-tensor payloads (AllToAllTensors, GroupReduce
+  // partials, AllBroadcastTensors, AllReduceSum) charge CODEC bytes on the
+  // wire, chosen per traffic class; id/object collectives carry structural
+  // integer data and always travel uncompressed. The communicator never
+  // changes VALUES — lossy rounding happens exactly once at the producer
+  // (FeatureStore / model boundary hooks), which is what keeps quantized
+  // strategies bit-comparable (DESIGN.md invariant 8). Transfer time, fault
+  // thresholds, and the wire traffic counters all see codec bytes; logical
+  // fp32 bytes stay visible beside them for ratio reporting.
+  // ------------------------------------------------------------------
+  void SetWireCodec(TrafficClass cls, Codec codec) {
+    wire_codecs_[static_cast<std::size_t>(cls)] = codec;
+  }
+  void SetWireCodecAll(Codec codec) { wire_codecs_.fill(codec); }
+  Codec wire_codec(TrafficClass cls) const {
+    return wire_codecs_[static_cast<std::size_t>(cls)];
+  }
+  /// Codec for gradient-allreduce payloads (AllReduceSum with
+  /// gradient_sync = true). kDeltaBitmask is lossless and charges
+  /// content-dependent sparse bytes of the reduced tensor.
+  void set_grad_codec(Codec codec) { grad_codec_ = codec; }
+  Codec grad_codec() const { return grad_codec_; }
 
   // ------------------------------------------------------------------
   // AllToAll of raw element vectors (computation-graph shuffles).
@@ -114,10 +140,12 @@ class Communicator {
 
   // ------------------------------------------------------------------
   // Ring AllReduce (sum): every device contributes a same-shape tensor and
-  // receives the elementwise sum. Used for DDP gradient sync and NFP's
-  // SparseAllreduce of partial embeddings.
+  // receives the elementwise sum. Used for DDP gradient sync
+  // (gradient_sync = true: grad_codec picks the wire bytes) and NFP's
+  // SparseAllreduce of partial embeddings (wire codec of the ring's class).
   // ------------------------------------------------------------------
-  void AllReduceSum(std::vector<Tensor*> tensors, Phase phase);
+  void AllReduceSum(std::vector<Tensor*> tensors, Phase phase,
+                    bool gradient_sync = false);
 
   // ------------------------------------------------------------------
   // AllBroadcast (allgather): device i contributes payload i; every device
@@ -143,6 +171,18 @@ class Communicator {
                                           Phase phase);
 
   // ------------------------------------------------------------------
+  // AllReduce over double vectors, elementwise kSum or kMax. The reduction
+  // is exact for the quantized parity path by construction: kMax is
+  // order-invariant outright, and the canonical quantized backward only
+  // sums doubles that are exact multiples of a shared power-of-two grid,
+  // so every addition is exact in any order (DESIGN.md invariant 8).
+  // Charged like AllReduceSum; always travels uncompressed.
+  // ------------------------------------------------------------------
+  enum class ReduceOp { kSum, kMax };
+  void AllReduceDoubles(std::vector<std::vector<double>*> vecs, ReduceOp op,
+                        Phase phase);
+
+  // ------------------------------------------------------------------
   // GroupReduce: device i holds `parts[i][j]` = partial rows destined for
   // device j plus `index[i][j]` = target row on j for each partial row.
   // Each destination j receives all partials and accumulates them into
@@ -162,12 +202,30 @@ class Communicator {
  private:
   /// Per-device serialized egress/ingress model; barrier at the end. Traced
   /// as one "alltoall" slice per participant (egress/ingress bytes,
-  /// participant count) and attributed to SimContext comm time.
-  void ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes, Phase phase);
-  /// Ring collective: time = latency_terms + factor * (C-1)/C * total_bytes / bw.
+  /// participant count) and attributed to SimContext comm time. `bytes` is
+  /// the logical fp32 matrix; `wire` is the codec bytes that actually cross
+  /// each link (time, faults, and wire counters use it). The two-arg form
+  /// is for uncompressed (structural) payloads: wire == logical.
+  void ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
+                      const std::vector<std::vector<std::int64_t>>& wire,
+                      Phase phase);
+  void ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
+                      Phase phase) {
+    ChargeAllToAll(bytes, bytes, phase);
+  }
+  /// Ring collective: time = latency_terms + factor * (C-1)/C * wire / bw.
   /// `label` names the trace slices ("allreduce" / "allbroadcast").
+  void ChargeRing(std::int64_t total_bytes, std::int64_t wire_total_bytes,
+                  double factor, Phase phase, const char* label);
   void ChargeRing(std::int64_t total_bytes, double factor, Phase phase,
-                  const char* label);
+                  const char* label) {
+    ChargeRing(total_bytes, total_bytes, factor, phase, label);
+  }
+  /// Traffic class of a ring schedule over all devices.
+  TrafficClass RingClass() const {
+    return ctx_->cluster().num_machines() > 1 ? TrafficClass::kCrossMachine
+                                              : TrafficClass::kPeerGpu;
+  }
   /// Consults the fault plan with this call's wire bytes. On a hit: charges
   /// each device the completed fraction of busy[d] (as comm time, traced
   /// "fault.collective"), records the failing call in the flight recorder
@@ -178,6 +236,9 @@ class Communicator {
                            const char* traffic_class);
 
   SimContext* ctx_;
+  std::array<Codec, static_cast<std::size_t>(TrafficClass::kNumClasses)>
+      wire_codecs_{Codec::kIdentity, Codec::kIdentity, Codec::kIdentity};
+  Codec grad_codec_ = Codec::kIdentity;
 };
 
 }  // namespace apt

@@ -17,6 +17,7 @@
 
 #include "engine/exec_common.h"
 #include "engine/executor.h"
+#include "engine/quantized_grad.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -202,11 +203,20 @@ class DnpExecutor final : public StrategyExecutor {
     auto grad_recv = ctx_->comm->AllToAllTensors(grad_sends, Phase::kTrain);
 
     // ---- Layer-1 backward at the owners. -----------------------------------
+    // Quantized mode: the owner-grouped layer-0 parameter-grad sum goes
+    // through the same canonical grid-rounded path GDP uses, making the two
+    // groupings bit-identical. Owner grad tensors must outlive the joint
+    // pass, so they live in `grad_outs` rather than the loop body.
     stage.Next("execute");
+    const bool quantized = UseQuantizedLayer0(*ctx_);
+    std::vector<Tensor> grad_outs(static_cast<std::size_t>(c));
+    std::vector<std::vector<QuantizedBlockGrad>> qblocks(
+        static_cast<std::size_t>(c));
     for (DeviceId g = 0; g < c; ++g) {
       OwnerWork& w = work[static_cast<std::size_t>(g)];
       if (w.block.num_dst == 0) continue;
-      Tensor grad_out(w.block.num_dst, ctx_->model(g).layer(0).out_dim());
+      Tensor& grad_out = grad_outs[static_cast<std::size_t>(g)];
+      grad_out = Tensor(w.block.num_dst, ctx_->model(g).layer(0).out_dim());
       std::int64_t row = 0;
       for (DeviceId o = 0; o < c; ++o) {
         const DnpDstBatch& db = recv[static_cast<std::size_t>(g)][static_cast<std::size_t>(o)];
@@ -218,11 +228,17 @@ class DnpExecutor final : public StrategyExecutor {
         row += db.size();
       }
       GnnLayer& layer0 = ctx_->model(g).layer(0);
-      layer0.Backward(w.block.csr(), w.block.num_dst, *w.saved, grad_out);
+      if (quantized) {
+        qblocks[static_cast<std::size_t>(g)].push_back(
+            QuantizedBlockGrad{w.block.num_dst, w.saved.get(), &grad_out});
+      } else {
+        layer0.Backward(w.block.csr(), w.block.num_dst, *w.saved, grad_out);
+      }
       ctx_->sim->ChargeCompute(
           g, layer0.BackwardFlops(w.block.num_src(), w.block.num_dst,
                                   w.block.num_edges()));
     }
+    if (quantized) QuantizedLayer0Backward(*ctx_, qblocks);
     return agg;
   }
 };

@@ -6,6 +6,7 @@
 
 #include "core/types.h"
 #include "sampling/block.h"
+#include "tensor/codec.h"
 
 namespace apt {
 
@@ -60,6 +61,21 @@ struct EngineOptions {
   /// bit-identical at every depth (the arithmetic still runs serially).
   int pipeline_depth = 1;
   RecoveryOptions recovery;
+  /// Wire codec for float-tensor collective payloads (shuffle/gather
+  /// transfers), applied per TrafficClass by the Communicator: transfers
+  /// charge compressed bytes, and lossy codecs round the boundary tensors in
+  /// a fixed canonical order (DESIGN.md invariant 8) so quantized-GDP and
+  /// quantized-DNP stay bit-identical to each other.
+  Codec wire_codec = Codec::kIdentity;
+  /// Storage codec for the FeatureStore: features live compressed at rest
+  /// and in every cache tier (quantize-on-gather at the storage tier,
+  /// dequantize at the consumer), shrinking load wire bytes and letting more
+  /// rows fit in the same cache budget.
+  Codec storage_codec = Codec::kIdentity;
+  /// Codec for the gradient allreduce wire bytes. kDeltaBitmask is lossless
+  /// (bitmap + packed nonzeros); lossy codecs here change BYTES only, never
+  /// gradient values (documented modeling deviation, DESIGN.md).
+  Codec grad_codec = Codec::kIdentity;
 
   /// Default assignment rule for a strategy (tests may override to compare
   /// strategies on identical mini-batches).

@@ -130,7 +130,7 @@ void AllReduceGradients(EngineCtx& ctx) {
   }
   std::vector<Tensor*> ptrs;
   for (auto& t : flat) ptrs.push_back(&t);
-  ctx.comm->AllReduceSum(ptrs, Phase::kTrain);
+  ctx.comm->AllReduceSum(ptrs, Phase::kTrain, /*gradient_sync=*/true);
   for (std::size_t d = 0; d < c; ++d) {
     std::int64_t off = 0;
     for (Param* p : ctx.model(static_cast<DeviceId>(d)).Params()) {

@@ -7,6 +7,7 @@
 // allreduce happens outside the pipelined scope (serial tail by design).
 #include "engine/executor.h"
 #include "engine/exec_common.h"
+#include "engine/quantized_grad.h"
 #include "obs/trace.h"
 
 namespace apt {
@@ -27,6 +28,15 @@ class GdpExecutor final : public StrategyExecutor {
     // GDP has no shuffle stages: the whole step is one Execute.
     APT_OBS_SCOPE("execute", "gdp");
     const std::int64_t d = ctx_->feature_dim();
+    // Quantized mode: the layer-0 parameter grads of ALL devices go through
+    // the canonical grid-rounded path (the only GDP reduction whose grouping
+    // differs from DNP's), so each device's backward stops at layer 1 and
+    // its layer-0 inputs/gradients are kept alive until the joint pass.
+    const bool quantized = UseQuantizedLayer0(*ctx_);
+    const auto c = static_cast<std::size_t>(ctx_->num_devices());
+    std::vector<ModelTape> tapes(c);
+    std::vector<Tensor> grad_raw0(c);
+    std::vector<std::vector<QuantizedBlockGrad>> qblocks(c);
     for (DeviceId dev = 0; dev < ctx_->num_devices(); ++dev) {
       DeviceBatch& batch = batches[static_cast<std::size_t>(dev)];
       if (batch.labels.empty()) continue;
@@ -36,16 +46,25 @@ class GdpExecutor final : public StrategyExecutor {
       ctx_->store->Gather(dev, input_nodes, 0, d, feats);
       ctx_->sim->NoteTransient(dev, 2 * feats.bytes());
 
-      ModelTape tape;
+      ModelTape& tape = tapes[static_cast<std::size_t>(dev)];
       const Tensor logits = ctx_->model(dev).ForwardFrom(0, blocks, feats, &tape);
       Tensor grad_logits;
       const StepStats s =
           SeedLossAndGrad(*ctx_, dev, batch, logits, total_seeds, grad_logits);
-      ctx_->model(dev).BackwardTo(0, blocks, tape, grad_logits);
+      if (quantized) {
+        grad_raw0[static_cast<std::size_t>(dev)] =
+            ctx_->model(dev).BackwardTo(1, blocks, tape, grad_logits);
+        qblocks[static_cast<std::size_t>(dev)].push_back(QuantizedBlockGrad{
+            blocks[0].num_dst, tape.layer_ctx[0].get(),
+            &grad_raw0[static_cast<std::size_t>(dev)]});
+      } else {
+        ctx_->model(dev).BackwardTo(0, blocks, tape, grad_logits);
+      }
       ChargeStepCompute(*ctx_, dev, blocks, 0);
       agg.loss += s.loss;
       agg.correct += s.correct;
     }
+    if (quantized) QuantizedLayer0Backward(*ctx_, qblocks);
     return agg;
   }
 };

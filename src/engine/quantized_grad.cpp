@@ -1,0 +1,119 @@
+#include "engine/quantized_grad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/sage_layer.h"
+#include "tensor/codec.h"
+
+namespace apt {
+
+namespace {
+
+double MaxAbs(const Tensor& t) {
+  double m = 0.0;
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(p[i])));
+  }
+  return m;
+}
+
+SageLayer& Layer0(EngineCtx& ctx, DeviceId d) {
+  auto* layer = dynamic_cast<SageLayer*>(&ctx.model(d).layer(0));
+  APT_CHECK(layer != nullptr) << "quantized layer-0 backward requires SAGE";
+  return *layer;
+}
+
+std::vector<std::vector<double>*> Ptrs(std::vector<std::vector<double>>& v) {
+  std::vector<std::vector<double>*> out;
+  out.reserve(v.size());
+  for (auto& e : v) out.push_back(&e);
+  return out;
+}
+
+}  // namespace
+
+bool UseQuantizedLayer0(const EngineCtx& ctx) {
+  // Single-layer models have no layer-0/layer-1 boundary to round; they keep
+  // the standard backward (parity stays tolerance-level, like GAT).
+  return CodecIsLossy(ctx.opts.wire_codec) &&
+         ctx.model_kind() == ModelKind::kSage &&
+         (*ctx.models)[0]->num_layers() >= 2;
+}
+
+void QuantizedLayer0Backward(
+    EngineCtx& ctx,
+    const std::vector<std::vector<QuantizedBlockGrad>>& per_device) {
+  const auto c = static_cast<std::size_t>(ctx.num_devices());
+  APT_CHECK_EQ(per_device.size(), c);
+
+  // 1. Grid stats. Max-reduce {max |inputs|, max |grad_out|}; sum-reduce the
+  // global dst-row count. Max is order-invariant outright, and the count is
+  // a small-integer sum — both collectives return the same numbers on every
+  // device regardless of how rows were grouped.
+  std::vector<std::vector<double>> stats(c, std::vector<double>(2, 0.0));
+  std::vector<std::vector<double>> counts(c, std::vector<double>(1, 0.0));
+  for (std::size_t d = 0; d < c; ++d) {
+    SageLayer& layer0 = Layer0(ctx, static_cast<DeviceId>(d));
+    for (const QuantizedBlockGrad& blk : per_device[d]) {
+      stats[d][0] = std::max(
+          stats[d][0], layer0.QuantizedInputMaxAbs(blk.num_dst, *blk.saved));
+      stats[d][1] = std::max(stats[d][1], MaxAbs(*blk.grad_out));
+      counts[d][0] += static_cast<double>(blk.num_dst);
+    }
+  }
+  ctx.comm->AllReduceDoubles(Ptrs(stats), Communicator::ReduceOp::kMax,
+                             Phase::kTrain);
+  ctx.comm->AllReduceDoubles(Ptrs(counts), Communicator::ReduceOp::kSum,
+                             Phase::kTrain);
+
+  // Grid steps: with Mh = max input magnitude, Mg = max grad magnitude and
+  // n dst rows, every per-row contribution is bounded by Mh*Mg (bias: Mg)
+  // and there are n of them, so all partial sums stay below
+  // Pow2Ceil(Mh)*Pow2Ceil(Mg)*Pow2Ceil(n) = grid * 2^46 — i.e. every
+  // partial sum is an exact integer multiple of the grid step with fewer
+  // than 53 significant bits: double addition of the rounded terms is
+  // EXACT, in any order and grouping.
+  const double grid_w = Pow2Ceil(stats[0][0]) * Pow2Ceil(stats[0][1]) *
+                        Pow2Ceil(counts[0][0]) * std::ldexp(1.0, -46);
+  const double grid_b =
+      Pow2Ceil(stats[0][1]) * Pow2Ceil(counts[0][0]) * std::ldexp(1.0, -46);
+
+  // 2. Per-device grid-rounded accumulation, 3. exact cross-device sum.
+  const std::int64_t acc_size = Layer0(ctx, 0).QuantizedAccumSize();
+  std::vector<std::vector<double>> acc(
+      c, std::vector<double>(static_cast<std::size_t>(acc_size), 0.0));
+  for (std::size_t d = 0; d < c; ++d) {
+    SageLayer& layer0 = Layer0(ctx, static_cast<DeviceId>(d));
+    for (const QuantizedBlockGrad& blk : per_device[d]) {
+      layer0.BackwardQuantized(blk.num_dst, *blk.saved, *blk.grad_out, grid_w,
+                               grid_b, acc[d]);
+    }
+  }
+  ctx.comm->AllReduceDoubles(Ptrs(acc), Communicator::ReduceOp::kSum,
+                             Phase::kTrain);
+
+  // 4. One double->float conversion of the global totals, carried by device
+  // 0 only. The float gradient allreduce that follows adds exact zeros from
+  // every other replica, so all replicas end with the identical total.
+  for (std::size_t d = 0; d < c; ++d) {
+    SageLayer& layer0 = Layer0(ctx, static_cast<DeviceId>(d));
+    const std::int64_t wn = layer0.in_dim() * layer0.out_dim();
+    float* w_self = layer0.w_self().grad.data();
+    float* w_neigh = layer0.w_neigh().grad.data();
+    float* bias = layer0.bias().grad.data();
+    const std::vector<double>& a = acc[d];
+    for (std::int64_t i = 0; i < wn; ++i) {
+      w_self[i] = d == 0 ? static_cast<float>(a[static_cast<std::size_t>(i)]) : 0.0f;
+      w_neigh[i] =
+          d == 0 ? static_cast<float>(a[static_cast<std::size_t>(wn + i)]) : 0.0f;
+    }
+    for (std::int64_t i = 0; i < layer0.out_dim(); ++i) {
+      bias[i] =
+          d == 0 ? static_cast<float>(a[static_cast<std::size_t>(2 * wn + i)]) : 0.0f;
+    }
+  }
+}
+
+}  // namespace apt

@@ -41,6 +41,13 @@ ParallelTrainer::ParallelTrainer(const Dataset& dataset, TrainerSetup setup)
   }
   store_ = std::make_unique<FeatureStore>(dataset.features, setup_.feature_placement,
                                           *sim_);
+  // Codec wiring. Storage codec first (ConfigureCaches accounts the cache
+  // footprint in at-rest bytes); the wire codec also becomes the model's
+  // boundary codec so both halves of the canonical rounding (features at the
+  // store, layer-0/1 boundary in the model) are in place before any step.
+  store_->SetStorageCodec(setup_.engine.storage_codec);
+  comm_->SetWireCodecAll(setup_.engine.wire_codec);
+  comm_->set_grad_codec(setup_.engine.grad_codec);
   if (!setup_.cache.cache_nodes.empty()) {
     store_->ConfigureCaches(setup_.cache.cache_nodes, setup_.cache.bytes_per_cached_row);
   } else {
@@ -52,6 +59,9 @@ ParallelTrainer::ParallelTrainer(const Dataset& dataset, TrainerSetup setup)
   const std::int32_t c = sim_->num_devices();
   for (std::int32_t d = 0; d < c; ++d) {
     models_.push_back(std::make_unique<GnnModel>(setup_.model));
+    if (CodecIsLossy(setup_.engine.wire_codec)) {
+      models_.back()->set_boundary_codec(setup_.engine.wire_codec);
+    }
     optimizers_.push_back(std::make_unique<Sgd>(setup_.engine.learning_rate));
     sim_->AllocPersistent(d, models_.back()->ParamBytes() * 3);  // value+grad+opt
   }

@@ -32,8 +32,11 @@ CacheConfig ConfigureCache(const CachePolicyInput& in) {
   CacheConfig cfg;
   cfg.cache_nodes.resize(static_cast<std::size_t>(in.num_devices));
 
+  // Rows are cached in their at-rest (storage-codec) representation, so a
+  // compressing codec lets the same budget hold more rows (identity keeps
+  // the historical d * 4 footprint exactly).
   const std::int64_t full_row_bytes =
-      in.feature_dim * static_cast<std::int64_t>(sizeof(float));
+      CodecWireBytes(in.storage_codec, 1, in.feature_dim);
 
   switch (in.strategy) {
     case Strategy::kGDP:

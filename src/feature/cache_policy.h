@@ -14,6 +14,7 @@
 
 #include "core/types.h"
 #include "graph/csr_graph.h"
+#include "tensor/codec.h"
 
 namespace apt {
 
@@ -30,6 +31,9 @@ struct CachePolicyInput {
   std::span<const std::int64_t> hotness;      ///< dry-run access counts per node
   std::span<const PartId> partition;          ///< per node (SNP/DNP)
   const CsrGraph* graph = nullptr;            ///< for DNP's 1-hop expansion
+  /// At-rest representation of cached rows: a compressing storage codec
+  /// shrinks the per-row footprint, so the same budget holds more rows.
+  Codec storage_codec = Codec::kIdentity;
 };
 
 CacheConfig ConfigureCache(const CachePolicyInput& in);

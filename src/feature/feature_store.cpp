@@ -16,6 +16,7 @@ struct GatherMetrics {
   obs::Counter& gathers;
   std::array<obs::Counter*, kNumFeatureTiers> rows;
   std::array<obs::Counter*, kNumFeatureTiers> bytes;
+  std::array<obs::Counter*, kNumFeatureTiers> wire_bytes;
   obs::Gauge& hit_rate;
 };
 
@@ -27,6 +28,10 @@ GatherMetrics& FeatureMetrics() {
        &m.counter("feature.rows.local_cpu"), &m.counter("feature.rows.remote_cpu")},
       {&m.counter("feature.bytes.gpu_cache"), &m.counter("feature.bytes.peer_gpu"),
        &m.counter("feature.bytes.local_cpu"), &m.counter("feature.bytes.remote_cpu")},
+      {&m.counter("feature.wire_bytes.gpu_cache"),
+       &m.counter("feature.wire_bytes.peer_gpu"),
+       &m.counter("feature.wire_bytes.local_cpu"),
+       &m.counter("feature.wire_bytes.remote_cpu")},
       m.gauge("feature.cache.hit_rate"),
   };
   return g;
@@ -55,6 +60,19 @@ FeatureStore::FeatureStore(const Tensor& features, std::vector<MachineId> node_m
   const auto c = static_cast<std::size_t>(ctx.num_devices());
   cache_bitmap_.assign(c, std::vector<std::uint8_t>(
                               static_cast<std::size_t>(features.rows()), 0));
+}
+
+void FeatureStore::SetStorageCodec(Codec codec, bool materialize) {
+  storage_codec_ = codec;
+  rounded_ = Tensor();
+  if (CodecIsLossy(codec) && materialize) {
+    // Round once, over full rows, in the canonical storage order. Gathers
+    // copy from this tensor, so a row reads back bit-identically no matter
+    // which tier serves it or how requests are batched.
+    rounded_ = Tensor(features_->rows(), features_->cols());
+    std::copy_n(features_->data(), features_->numel(), rounded_.data());
+    CodecRoundRows(codec, rounded_);
+  }
 }
 
 void FeatureStore::ConfigureCaches(const std::vector<std::vector<NodeId>>& cache_nodes,
@@ -100,6 +118,11 @@ LoadVolume FeatureStore::CountGather(DeviceId dev, std::span<const NodeId> nodes
     vol.rows[tier] += 1;
     vol.bytes[tier] += row_bytes;
   }
+  for (int tier = 0; tier < kNumFeatureTiers; ++tier) {
+    const auto t = static_cast<std::size_t>(tier);
+    vol.wire_bytes[t] =
+        CodecWireBytes(storage_codec_, vol.rows[t], col_hi - col_lo);
+  }
   return vol;
 }
 
@@ -108,9 +131,10 @@ double FeatureStore::LoadSeconds(DeviceId dev, const LoadVolume& volume) const {
   const MachineId m = cluster.MachineOf(dev);
   const MachineSpec& machine = cluster.machine(m);
   double t = 0.0;
-  auto bytes_of = [&](FeatureTier tier) {
-    return volume.bytes[static_cast<std::size_t>(tier)];
-  };
+  // Rows move in their at-rest (possibly compressed) form: transfers charge
+  // wire bytes. Under the identity codec wire == logical bytes and the
+  // decode term is zero, so this is bit-identical to the uncompressed model.
+  auto bytes_of = [&](FeatureTier tier) { return volume.WireBytes(tier); };
   if (bytes_of(FeatureTier::kGpuCache) > 0) {
     t += machine.gpu.kernel_launch_s +
          static_cast<double>(bytes_of(FeatureTier::kGpuCache)) /
@@ -134,6 +158,10 @@ double FeatureStore::LoadSeconds(DeviceId dev, const LoadVolume& volume) const {
     t += ctx_->DegradedLink(cluster.network, TrafficClass::kCrossMachine, now)
              .TransferSeconds(bytes_of(FeatureTier::kRemoteCpu));
   }
+  // Dequantize-on-device: one streaming pass over the logical volume at the
+  // consumer GPU's memory bandwidth.
+  t += CodecXcodeSeconds(storage_codec_, volume.TotalBytes(),
+                         machine.gpu.mem_bandwidth_bytes_per_s);
   return t;
 }
 
@@ -143,9 +171,12 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
   APT_CHECK_EQ(out.cols(), col_hi - col_lo);
   const LoadVolume vol = CountGather(dev, nodes, col_lo, col_hi);
   const std::int64_t width = col_hi - col_lo;
+  APT_CHECK(!CodecIsLossy(storage_codec_) || rounded_.numel() > 0)
+      << "lossy storage codec was set without materializing the rounded copy";
+  const Tensor& src_tensor = served();
   // The row copies are independent; this is the memory-bound half of T_load.
   ParallelFor(0, static_cast<std::int64_t>(nodes.size()), [&](std::int64_t i) {
-    const float* src = features_->row(nodes[static_cast<std::size_t>(i)]) + col_lo;
+    const float* src = src_tensor.row(nodes[static_cast<std::size_t>(i)]) + col_lo;
     std::copy_n(src, width, out.row(i));
   }, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, width)));
   GatherMetrics& metrics = FeatureMetrics();
@@ -155,6 +186,7 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
     const auto t = static_cast<std::size_t>(tier);
     metrics.rows[t]->Add(vol.rows[t]);
     metrics.bytes[t]->Add(vol.bytes[t]);
+    metrics.wire_bytes[t]->Add(vol.wire_bytes[t]);
     total_rows += vol.rows[t];
   }
   // Cumulative hit rate: rows served from the device's own GPU cache over all
@@ -170,13 +202,17 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
       dev, LoadSeconds(dev, vol), Phase::kLoad, "gather",
       {{"rows", static_cast<double>(total_rows), nullptr},
        {"bytes", static_cast<double>(vol.TotalBytes()), nullptr},
+       {"wire_bytes", static_cast<double>(vol.TotalWireBytes()), nullptr},
        {"cache_hit_rows", static_cast<double>(vol.rows[hit_tier]), nullptr}});
   ctx_->CountTraffic(TrafficClass::kLocalCpuGpu,
-                     vol.bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)]);
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kLocalCpu)],
+                     vol.WireBytes(FeatureTier::kLocalCpu));
   ctx_->CountTraffic(TrafficClass::kPeerGpu,
-                     vol.bytes[static_cast<std::size_t>(FeatureTier::kPeerGpu)]);
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kPeerGpu)],
+                     vol.WireBytes(FeatureTier::kPeerGpu));
   ctx_->CountTraffic(TrafficClass::kCrossMachine,
-                     vol.bytes[static_cast<std::size_t>(FeatureTier::kRemoteCpu)]);
+                     vol.bytes[static_cast<std::size_t>(FeatureTier::kRemoteCpu)],
+                     vol.WireBytes(FeatureTier::kRemoteCpu));
   return vol;
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/types.h"
 #include "sim/sim_context.h"
+#include "tensor/codec.h"
 #include "tensor/tensor.h"
 
 namespace apt {
@@ -29,20 +30,39 @@ inline constexpr int kNumFeatureTiers = 4;
 const char* ToString(FeatureTier t);
 
 /// Byte counts per tier for one gather (or accumulated over an epoch);
-/// the raw material of the cost model's T_load.
+/// the raw material of the cost model's T_load. `bytes` is the LOGICAL
+/// (fp32) volume; `wire_bytes` is what actually moves when the store keeps
+/// rows in compressed form (== bytes under the identity codec).
 struct LoadVolume {
   std::array<std::int64_t, kNumFeatureTiers> bytes{};
+  std::array<std::int64_t, kNumFeatureTiers> wire_bytes{};
   std::array<std::int64_t, kNumFeatureTiers> rows{};
 
   void Add(const LoadVolume& o) {
     for (int i = 0; i < kNumFeatureTiers; ++i) {
       bytes[static_cast<std::size_t>(i)] += o.bytes[static_cast<std::size_t>(i)];
+      wire_bytes[static_cast<std::size_t>(i)] +=
+          o.wire_bytes[static_cast<std::size_t>(i)];
       rows[static_cast<std::size_t>(i)] += o.rows[static_cast<std::size_t>(i)];
     }
+  }
+  /// Wire bytes for a tier, falling back to logical bytes for volumes built
+  /// by hand without wire tracking (wire > 0 whenever a tracked tier served
+  /// any row, so the fallback never masks real compression).
+  std::int64_t WireBytes(FeatureTier t) const {
+    const auto i = static_cast<std::size_t>(t);
+    return wire_bytes[i] > 0 ? wire_bytes[i] : bytes[i];
   }
   std::int64_t TotalBytes() const {
     std::int64_t t = 0;
     for (auto b : bytes) t += b;
+    return t;
+  }
+  std::int64_t TotalWireBytes() const {
+    std::int64_t t = 0;
+    for (int i = 0; i < kNumFeatureTiers; ++i) {
+      t += WireBytes(static_cast<FeatureTier>(i));
+    }
     return t;
   }
   std::int64_t CpuBytes() const {
@@ -57,6 +77,23 @@ class FeatureStore {
   /// whose CPU memory holds v's feature (size == num rows of features).
   FeatureStore(const Tensor& features, std::vector<MachineId> node_machine,
                SimContext& ctx);
+
+  /// Selects the at-rest representation for every tier (CPU shards and GPU
+  /// caches alike). A lossy codec rounds each row ONCE, at the storage tier,
+  /// in fixed row-major order — every consumer then observes the identical
+  /// rounded values regardless of which tier served it or how the gather was
+  /// batched (the producer-side half of DESIGN.md invariant 8). With
+  /// `materialize` false (dry-run scratch stores) only the byte accounting
+  /// changes and no rounded copy is built; Gather must not be called then.
+  /// Call before ConfigureCaches / any gather.
+  void SetStorageCodec(Codec codec, bool materialize = true);
+  Codec storage_codec() const { return storage_codec_; }
+
+  /// Bytes one cached row of `width` columns occupies under the storage
+  /// codec (what ConfigureCaches callers should pass per cached row).
+  std::int64_t CachedRowBytes(std::int64_t width) const {
+    return CodecWireBytes(storage_codec_, 1, width);
+  }
 
   /// Installs per-device cached node sets (from a CachePolicy). For NFP the
   /// cached slice is narrower; `bytes_per_cached_row` lets the caller account
@@ -91,9 +128,17 @@ class FeatureStore {
   std::int64_t num_nodes() const { return features_->rows(); }
 
  private:
+  /// The tensor gathers copy from: the caller's fp32 features under the
+  /// identity codec, the rounded copy under a lossy one.
+  const Tensor& served() const {
+    return rounded_.numel() > 0 ? rounded_ : *features_;
+  }
+
   const Tensor* features_;
   std::vector<MachineId> node_machine_;
   SimContext* ctx_;
+  Codec storage_codec_ = Codec::kIdentity;
+  Tensor rounded_;  ///< codec-rounded copy (empty when identity/unmaterialized)
   std::vector<std::vector<std::uint8_t>> cache_bitmap_;  ///< per device
 };
 

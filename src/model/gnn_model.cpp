@@ -53,6 +53,11 @@ Tensor GnnModel::ForwardFrom(int first_layer, std::span<const Block> blocks,
   Tensor h = input;
   for (int k = first_layer; k < num_layers(); ++k) {
     if (k >= 1) {
+      // Quantized boundary: round the layer-0 raw output ONCE at layer 1's
+      // entry, before it is saved or activated. Every strategy funnels
+      // through this point with the same row values, so the rounded tensor
+      // is identical across strategies.
+      if (k == 1) CodecRoundRows(boundary_codec_, h);
       // Entry activation: ReLU on the previous layer's raw output. Save the
       // raw values for the backward pass.
       if (tape != nullptr) {
@@ -87,6 +92,11 @@ Tensor GnnModel::BackwardTo(int first_layer, std::span<const Block> blocks,
       Tensor grad_raw(raw.rows(), raw.cols());
       ReluBackward(raw, grad, grad_raw);
       grad = std::move(grad_raw);
+      // Quantized boundary, backward direction: the gradient handed across
+      // the layer-1/layer-0 boundary is rounded once here — the same value
+      // whether the caller continues into layer 0 locally (GDP) or ships
+      // the rows back to their owners (DNP).
+      if (k == 1) CodecRoundRows(boundary_codec_, grad);
     }
   }
   return grad;

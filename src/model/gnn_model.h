@@ -16,6 +16,7 @@
 #include "model/gnn_layer.h"
 #include "model/sage_layer.h"
 #include "sampling/block.h"
+#include "tensor/codec.h"
 
 namespace apt {
 
@@ -62,6 +63,17 @@ class GnnModel {
   Tensor BackwardTo(int first_layer, std::span<const Block> blocks,
                     const ModelTape& tape, const Tensor& grad_logits);
 
+  /// Boundary codec for quantized training (lossy wire codecs). When set,
+  /// the layer-0/layer-1 boundary tensors are rounded to the codec grid in
+  /// a FIXED canonical place — layer 1's entry, in both directions — so the
+  /// rounding is identical whether a strategy computed layer 0 locally
+  /// (GDP: ForwardFrom(0)/BackwardTo(0..1)) or assembled it from shipped
+  /// rows (DNP/NFP/SNP: ForwardFrom(1)/BackwardTo(1)). Rounding is per-row
+  /// / per-element, so it commutes with how rows are batched across devices
+  /// (DESIGN.md invariant 8).
+  void set_boundary_codec(Codec codec) { boundary_codec_ = codec; }
+  Codec boundary_codec() const { return boundary_codec_; }
+
   std::vector<Param*> Params();
   void ZeroGrad();
   std::int64_t ParamBytes() const;
@@ -73,6 +85,7 @@ class GnnModel {
  private:
   ModelConfig config_;
   std::vector<std::unique_ptr<GnnLayer>> layers_;
+  Codec boundary_codec_ = Codec::kIdentity;
 };
 
 }  // namespace apt

@@ -1,7 +1,9 @@
 #include "model/sage_layer.h"
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.h"
+#include "runtime/parallel_for.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -80,6 +82,65 @@ Tensor SageLayer::Backward(const CsrView& csr, std::int64_t num_dst,
     for (std::int64_t j = 0; j < in_dim_; ++j) dst[j] += src[j];
   }
   return grad_input;
+}
+
+double SageLayer::QuantizedInputMaxAbs(std::int64_t num_dst,
+                                       const LayerContext& saved) const {
+  const auto& ctx = dynamic_cast<const SageContext&>(saved);
+  double m = 0.0;
+  const float* self = ctx.input.data();
+  for (std::int64_t i = 0; i < num_dst * in_dim_; ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(self[i])));
+  }
+  const float* agg = ctx.agg.data();
+  for (std::int64_t i = 0; i < ctx.agg.numel(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(agg[i])));
+  }
+  return m;
+}
+
+void SageLayer::BackwardQuantized(std::int64_t num_dst, const LayerContext& saved,
+                                  const Tensor& grad_out, double grid_w,
+                                  double grid_b, std::span<double> acc) const {
+  const auto& ctx = dynamic_cast<const SageContext&>(saved);
+  APT_CHECK_EQ(grad_out.rows(), num_dst);
+  APT_CHECK_EQ(grad_out.cols(), out_dim_);
+  APT_CHECK_EQ(static_cast<std::int64_t>(acc.size()), QuantizedAccumSize());
+  APT_CHECK_GT(grid_w, 0.0);
+  APT_CHECK_GT(grid_b, 0.0);
+  // Grids are powers of two: their reciprocals are exact, so the rounded
+  // term nearbyint(c/grid)*grid is bit-identical however it is computed.
+  const double inv_w = 1.0 / grid_w;
+  const double inv_b = 1.0 / grid_b;
+  double* w_self_acc = acc.data();
+  double* w_neigh_acc = acc.data() + in_dim_ * out_dim_;
+  double* bias_acc = acc.data() + 2 * in_dim_ * out_dim_;
+  // Parallel over input dims: each lane owns disjoint accumulator rows, and
+  // every addition is exact, so the split cannot change results.
+  const std::int64_t out = out_dim_;
+  ParallelFor(
+      0, in_dim_,
+      [&](std::int64_t m) {
+        double* self_row = w_self_acc + m * out;
+        double* neigh_row = w_neigh_acc + m * out;
+        for (std::int64_t r = 0; r < num_dst; ++r) {
+          const double a_self = static_cast<double>(ctx.input.row(r)[m]);
+          const double a_agg = static_cast<double>(ctx.agg.row(r)[m]);
+          const float* g = grad_out.row(r);
+          for (std::int64_t n = 0; n < out; ++n) {
+            const double gn = static_cast<double>(g[n]);
+            self_row[n] += std::nearbyint(a_self * gn * inv_w) * grid_w;
+            neigh_row[n] += std::nearbyint(a_agg * gn * inv_w) * grid_w;
+          }
+        }
+      },
+      /*grain=*/std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, out)));
+  for (std::int64_t r = 0; r < num_dst; ++r) {
+    const float* g = grad_out.row(r);
+    for (std::int64_t n = 0; n < out; ++n) {
+      bias_acc[n] += std::nearbyint(static_cast<double>(g[n]) * inv_b) * grid_b;
+    }
+  }
 }
 
 void SageLayer::CollectParams(std::vector<Param*>& out) {

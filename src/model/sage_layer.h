@@ -8,6 +8,8 @@
 // is exactly why those strategies are semantically equivalent to GDP.
 #pragma once
 
+#include <span>
+
 #include "core/random.h"
 #include "model/gnn_layer.h"
 
@@ -28,6 +30,34 @@ class SageLayer final : public GnnLayer {
                       std::int64_t num_edges) const override;
   double BackwardFlops(std::int64_t num_src, std::int64_t num_dst,
                        std::int64_t num_edges) const override;
+
+  // --- canonical quantized backward (parameter grads only) --------------
+  //
+  // Quantized training needs layer-0 parameter gradients that are invariant
+  // to HOW dst rows are grouped across devices (GDP groups by origin, DNP
+  // by owner). Each dst row's contribution to a parameter entry is a single
+  // product; BackwardQuantized computes it in double, rounds it to a shared
+  // power-of-two grid, and accumulates in double — every partial sum is an
+  // exact multiple of the grid step well inside double's 53-bit mantissa,
+  // so addition is exact and the total is identical under any regrouping
+  // (DESIGN.md invariant 8). Input gradients are NOT produced: the callers
+  // only need parameter grads at layer 0.
+
+  /// Length of the double accumulator: w_self then w_neigh (row-major,
+  /// in_dim x out_dim each) then bias (out_dim).
+  std::int64_t QuantizedAccumSize() const {
+    return 2 * in_dim_ * out_dim_ + out_dim_;
+  }
+  /// maxabs over this block's layer-0 backward consumables: the dst-prefix
+  /// input rows and the aggregated neighbor rows.
+  double QuantizedInputMaxAbs(std::int64_t num_dst,
+                              const LayerContext& saved) const;
+  /// Accumulates the grid-rounded parameter-grad contributions of this
+  /// block's dst rows onto `acc`. `grid_w` / `grid_b` must be powers of two
+  /// shared by every participating block (see QuantizedLayer0Backward).
+  void BackwardQuantized(std::int64_t num_dst, const LayerContext& saved,
+                         const Tensor& grad_out, double grid_w, double grid_b,
+                         std::span<double> acc) const;
 
   Param& w_self() { return w_self_; }
   Param& w_neigh() { return w_neigh_; }

@@ -414,9 +414,28 @@ void WriteTrackReport(std::ostream& os, const TraceAnalysis& a) {
        << a.num_comm_lanes << " comm lanes)\n";
   }
   if (!a.traffic_bytes.empty()) {
-    os << "  traffic bytes:";
-    for (const auto& [cls, bytes] : a.traffic_bytes) os << "  " << cls << "=" << bytes;
+    // Each class shows logical (fp32) bytes and, when a codec is active,
+    // what actually crossed the links ("<class>.wire" counter keys).
+    std::int64_t total_logical = 0, total_wire = 0;
+    os << "  traffic bytes (raw / wire):";
+    for (const auto& [cls, bytes] : a.traffic_bytes) {
+      if (cls.size() > 5 && cls.compare(cls.size() - 5, 5, ".wire") == 0) continue;
+      const auto wire_it = a.traffic_bytes.find(cls + ".wire");
+      const std::int64_t wire =
+          wire_it != a.traffic_bytes.end() ? wire_it->second : bytes;
+      os << "  " << cls << "=" << bytes;
+      if (wire != bytes) os << "/" << wire;
+      total_logical += bytes;
+      total_wire += wire;
+    }
     os << "\n";
+    if (total_wire > 0 && total_wire != total_logical) {
+      os << "  compression ratio: " << std::fixed << std::setprecision(2)
+         << static_cast<double>(total_logical) / static_cast<double>(total_wire)
+         << "x (" << total_logical << " raw -> " << total_wire << " wire)\n";
+      os.unsetf(std::ios::fixed);
+      os << std::setprecision(6);
+    }
   }
 
   if (!a.critical_path.empty()) {
@@ -699,8 +718,14 @@ DiffReport DiffAnalyses(const TraceAnalysis& a, const TraceAnalysis& b,
     const double delta = line.b - line.a;
     line.rel = delta / std::max(std::abs(line.a), 1e-12);
     const double scale = std::max(std::abs(line.a), std::abs(line.b));
+    // Traffic counters (including the "<class>.wire" compressed-bytes keys)
+    // are exact simulated byte counts, not timings: any drift is a real
+    // behavioural change, so they get a much tighter threshold.
+    const bool deterministic = key.rfind("traffic/", 0) == 0;
+    const double eff_threshold =
+        deterministic ? std::min(threshold, 1e-3) : threshold;
     line.significant = std::abs(delta) > abs_floor_s &&
-                       scale > 0.0 && std::abs(delta) / scale >= threshold;
+                       scale > 0.0 && std::abs(delta) / scale >= eff_threshold;
     report.any_significant = report.any_significant || line.significant;
     report.lines.push_back(std::move(line));
   }
@@ -762,10 +787,13 @@ std::map<std::string, std::map<std::string, double>> FlattenRecords(
       for (const auto& [strategy, sval] : strategies->obj) {
         if (sval.kind != JsonValue::kObject) continue;
         auto& metrics = out[*label + "/" + strategy];
-        for (const char* name : {"sim_seconds", "wall_seconds"}) {
-          if (const JsonValue* v = sval.Find(name); v != nullptr &&
-                                                    v->kind == JsonValue::kNumber) {
-            metrics[name] = v->num;
+        // Every sim_* metric is a deterministic simulated quantity (times,
+        // byte counts, compression ratios); wall_seconds rides along for
+        // informational diffs. Gating tolerance is picked per metric name.
+        for (const auto& [name, v] : sval.obj) {
+          if (v.kind != JsonValue::kNumber) continue;
+          if (name == "wall_seconds" || name.rfind("sim_", 0) == 0) {
+            metrics[name] = v.num;
           }
         }
       }
@@ -798,7 +826,15 @@ GateReport RunGate(const JsonValue& baseline, const JsonValue& current,
       f.current = metric_it->second;
       f.wall = metric == "time_ns";
       f.rel = (f.current - f.base) / std::max(std::abs(f.base), 1e-12);
-      const double tolerance = f.wall ? options.wall_tolerance : options.sim_tolerance;
+      // Simulated byte counts (sim_wire_bytes, sim_compressed_bytes, ...)
+      // are exact integers — any growth is a real behaviour change, so they
+      // gate at a near-zero threshold instead of the timing tolerance.
+      const bool byte_count = metric.size() > 6 &&
+                              metric.compare(metric.size() - 6, 6, "_bytes") == 0;
+      const double tolerance =
+          f.wall ? options.wall_tolerance
+                 : (byte_count ? std::min(options.sim_tolerance, 1e-6)
+                               : options.sim_tolerance);
       f.regression = f.rel > tolerance && (!f.wall || options.gate_wall);
       ++report.compared;
       if (f.regression) ++report.regressions;

@@ -21,6 +21,23 @@ obs::Counter& TrafficCounter(TrafficClass c) {
   return *counters[static_cast<std::size_t>(c)];
 }
 
+obs::Counter& TrafficWireCounter(TrafficClass c) {
+  static obs::Counter* counters[static_cast<std::size_t>(TrafficClass::kNumClasses)] = {
+      &obs::Metrics::Global().counter("sim.traffic.local_cpu_gpu.wire_bytes"),
+      &obs::Metrics::Global().counter("sim.traffic.peer_gpu.wire_bytes"),
+      &obs::Metrics::Global().counter("sim.traffic.cross_machine.wire_bytes"),
+  };
+  return *counters[static_cast<std::size_t>(c)];
+}
+
+/// Counter-track key for the wire series of a class. Trace events keep the
+/// key by pointer, so these live for the process lifetime.
+const char* WireKey(TrafficClass c) {
+  static const char* keys[static_cast<std::size_t>(TrafficClass::kNumClasses)] = {
+      "local_cpu_gpu.wire", "peer_gpu.wire", "cross_machine.wire"};
+  return keys[static_cast<std::size_t>(c)];
+}
+
 }  // namespace
 
 const char* ToString(Phase p) {
@@ -247,15 +264,19 @@ TrafficClass SimContext::ClassifyCpuLink(DeviceId dev, MachineId m) const {
   return TrafficClass::kLocalCpuGpu;
 }
 
-void SimContext::CountTraffic(TrafficClass c, std::int64_t bytes) {
+void SimContext::CountTraffic(TrafficClass c, std::int64_t bytes,
+                              std::int64_t wire_bytes) {
   const std::size_t i = static_cast<std::size_t>(c);
   traffic_bytes_[i] += bytes;
-  if (bytes > 0) {
-    TrafficCounter(c).Add(bytes);
+  traffic_wire_bytes_[i] += wire_bytes;
+  if (bytes > 0 || wire_bytes > 0) {
+    if (bytes > 0) TrafficCounter(c).Add(bytes);
+    if (wire_bytes > 0) TrafficWireCounter(c).Add(wire_bytes);
     if (obs::TracingEnabled()) {
       obs::EmitSimCounter(
           ObsPid(), MaxNow(), "traffic_bytes",
-          {{ToString(c), static_cast<double>(traffic_bytes_[i]), nullptr}});
+          {{ToString(c), static_cast<double>(traffic_bytes_[i]), nullptr},
+           {WireKey(c), static_cast<double>(traffic_wire_bytes_[i]), nullptr}});
     }
   }
 }

@@ -256,13 +256,27 @@ class SimContext {
   TrafficClass ClassifyDeviceLink(DeviceId a, DeviceId b) const;
   TrafficClass ClassifyCpuLink(DeviceId dev, MachineId m) const;
 
-  /// Adds to the cumulative per-class byte total (also mirrored into the
+  /// Adds to the cumulative per-class byte totals (also mirrored into the
   /// global obs metrics registry and, when tracing, a counter track).
-  void CountTraffic(TrafficClass c, std::int64_t bytes);
+  /// `bytes` is the LOGICAL fp32 volume; `wire_bytes` is what actually
+  /// crossed the link after any codec (== bytes when uncompressed). Wire
+  /// bytes are what transfer time and fault thresholds charge; the
+  /// logical/wire pair is what reports derive compression ratios from.
+  void CountTraffic(TrafficClass c, std::int64_t bytes,
+                    std::int64_t wire_bytes);
+  void CountTraffic(TrafficClass c, std::int64_t bytes) {
+    CountTraffic(c, bytes, bytes);
+  }
   std::int64_t TrafficBytes(TrafficClass c) const {
     return traffic_bytes_[static_cast<std::size_t>(c)];
   }
-  void ResetTraffic() { traffic_bytes_.fill(0); }
+  std::int64_t TrafficWireBytes(TrafficClass c) const {
+    return traffic_wire_bytes_[static_cast<std::size_t>(c)];
+  }
+  void ResetTraffic() {
+    traffic_bytes_.fill(0);
+    traffic_wire_bytes_.fill(0);
+  }
 
   // --- memory -----------------------------------------------------------
 
@@ -319,6 +333,8 @@ class SimContext {
   std::vector<PipelineOp> pipeline_tape_;
   std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
       traffic_bytes_{};
+  std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
+      traffic_wire_bytes_{};
   std::vector<std::int64_t> persistent_bytes_;
   std::vector<std::int64_t> peak_bytes_;
   mutable std::int32_t obs_pid_ = -1;  ///< lazily registered trace track

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "apt/resilience.h"
+#include "comm/collectives.h"
 #include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -382,6 +383,67 @@ TEST(ChaosTest, PipelinedGiveupFlightDumpRecordsInFlightMicrobatch) {
 
   std::filesystem::remove_all(dir);
   obs::Flight().SetDumpDir(::testing::TempDir());
+}
+
+TEST(ChaosTest, CollectiveFaultThresholdsCountWireBytesNotLogical) {
+  // "Fail after N bytes" means bytes that actually crossed links. With a
+  // bf16 gradient codec a 400-logical-byte allreduce puts only 200 bytes on
+  // the wire (ring factor 2*(c-1)/c = 1 at c = 2), so a 300-byte threshold
+  // must NOT fire on the first call — it would under logical counting — and
+  // must fire once the second call's wire bytes push the total past it.
+  SimContext sim(SingleMachineCluster(2));
+  FaultPlan plan;
+  plan.collectives.push_back({.after_bytes = 300});
+  sim.InstallFaults(plan);
+  Communicator comm(sim);
+  comm.set_grad_codec(Codec::kBf16);
+
+  const auto reduce = [&] {
+    std::vector<Tensor> bufs(2, Tensor(1, 100));
+    for (Tensor& t : bufs) t.Fill(1.0f);
+    std::vector<Tensor*> ptrs{&bufs[0], &bufs[1]};
+    comm.AllReduceSum(ptrs, Phase::kTrain, /*gradient_sync=*/true);
+  };
+  EXPECT_NO_THROW(reduce());  // 200 wire bytes < 300
+  EXPECT_THROW(reduce(), CollectiveError);  // cumulative 400 > 300
+}
+
+TEST(ChaosTest, ChaosWithWireCodecsIsRetriedAndBitReproducible) {
+  // The full chaos invariants with compression on: collective faults (whose
+  // thresholds now see compressed bytes) are retried to the SAME model as a
+  // fault-free quantized run, and the whole run is bit-reproducible.
+  const Dataset ds = SmallDataset();
+  const auto quantized = [&](const FaultPlan& plan, RecoveryOptions recovery = {}) {
+    auto t = MakeTrainer(ds, SingleMachineCluster(4), Strategy::kGDP,
+                         ModelKind::kSage, /*force_chunked=*/true, 1 << 20,
+                         {5, 5}, 128, 0, recovery, /*pipeline_depth=*/1,
+                         Codec::kBf16, Codec::kBf16, Codec::kBf16);
+    t->sim().InstallFaults(plan);
+    return t;
+  };
+  auto clean = quantized(FaultPlan{});
+
+  FaultPlan plan;
+  plan.collectives.push_back({.after_bytes = 1000});
+  plan.collectives.push_back({.after_bytes = 8000});
+  RecoveryOptions recovery;
+  recovery.retry_collectives = true;
+  auto chaotic = quantized(plan, recovery);
+
+  const EpochStats a = clean->TrainEpoch(0);
+  const EpochStats b = chaotic->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+  EXPECT_EQ(MaxParamDiff(clean->model0(), chaotic->model0()), 0.0);
+  EXPECT_GT(b.sim_seconds, a.sim_seconds);
+  EXPECT_GE(chaotic->recovery_stats().collective_failures, 1);
+  EXPECT_EQ(chaotic->recovery_stats().giveups, 0);
+
+  auto chaotic2 = quantized(plan, recovery);
+  const EpochStats b2 = chaotic2->TrainEpoch(0);
+  EXPECT_DOUBLE_EQ(b.loss, b2.loss);
+  EXPECT_DOUBLE_EQ(b.sim_seconds, b2.sim_seconds);
+  EXPECT_EQ(MaxParamDiff(chaotic->model0(), chaotic2->model0()), 0.0);
+  EXPECT_EQ(chaotic->recovery_stats().retries, chaotic2->recovery_stats().retries);
 }
 
 TEST(ChaosTest, ResilientRunnerSurvivesAndReplans) {

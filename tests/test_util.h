@@ -41,7 +41,9 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
     ModelKind kind = ModelKind::kSage, bool force_chunked = true,
     std::int64_t cache_bytes = 1 << 20, std::vector<int> fanouts = {5, 5},
     std::int64_t batch = 128, std::int64_t hidden = 0,
-    RecoveryOptions recovery = {}, int pipeline_depth = 1) {
+    RecoveryOptions recovery = {}, int pipeline_depth = 1,
+    Codec wire_codec = Codec::kIdentity, Codec storage_codec = Codec::kIdentity,
+    Codec grad_codec = Codec::kIdentity) {
   ModelConfig model;
   model.kind = kind;
   model.num_layers = static_cast<int>(fanouts.size());
@@ -59,6 +61,9 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
                                        : EngineOptions::DefaultAssignment(strategy);
   opts.recovery = recovery;
   opts.pipeline_depth = pipeline_depth;
+  opts.wire_codec = wire_codec;
+  opts.storage_codec = storage_codec;
+  opts.grad_codec = grad_codec;
 
   MultilevelPartitioner part;
   std::vector<PartId> partition = part.Partition(ds.graph, cluster.num_devices());

@@ -106,6 +106,11 @@ void WriteCsv(std::ostream& os, const TraceSet& set, bool all_tracks) {
     for (const auto& [cat, v] : a.comm_max_s) row("comm/" + cat, v);
     for (const auto& [key, sum] : a.by_name) row("stage/" + key, sum.max_lane_s);
     for (const auto& [name, v] : a.critical_by_name_s) row("critical/" + name, v);
+    // Byte counters, not seconds: logical traffic per class plus the
+    // "<class>.wire" keys holding post-codec compressed bytes.
+    for (const auto& [cls, bytes] : a.traffic_bytes) {
+      row("traffic/" + cls, static_cast<double>(bytes));
+    }
     if (a.steps.count > 0) {
       row("steps/p50_s", a.steps.p50_s);
       row("steps/p95_s", a.steps.p95_s);
