@@ -6,33 +6,6 @@
 
 namespace apt {
 
-namespace {
-
-/// Samples ranks 0..n-1 with probability proportional to (rank+1)^-alpha
-/// via binary search over the cumulative weights.
-class ZipfSampler {
- public:
-  ZipfSampler(NodeId n, double alpha, double offset)
-      : cum_(static_cast<std::size_t>(n)) {
-    double acc = 0.0;
-    for (NodeId r = 0; r < n; ++r) {
-      acc += std::pow(static_cast<double>(r + 1) + offset, -alpha);
-      cum_[static_cast<std::size_t>(r)] = acc;
-    }
-  }
-
-  NodeId Sample(Rng& rng) const {
-    const double u = rng.NextDouble() * cum_.back();
-    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
-    return static_cast<NodeId>(it - cum_.begin());
-  }
-
- private:
-  std::vector<double> cum_;
-};
-
-}  // namespace
-
 CsrGraph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, Rng rng) {
   APT_CHECK_GT(num_nodes, 1);
   std::vector<NodeId> src, dst;

@@ -9,12 +9,42 @@
 // edges inside planted communities (partitionability knob).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "core/random.h"
 #include "graph/csr_graph.h"
 
 namespace apt {
+
+/// Draws ranks from a (shifted) Zipf law: weight(r) = (r+1+offset)^-alpha.
+/// Cumulative weights + binary search, so Sample is O(log n) and the
+/// distribution is exact (no rejection). Used by the graph generators for
+/// edge-endpoint skew and by the serving engine for per-user seed
+/// popularity — the same knob that makes Table 3's access skew makes a
+/// realistic request mix.
+class ZipfSampler {
+ public:
+  ZipfSampler(NodeId n, double alpha, double offset)
+      : cum_(static_cast<std::size_t>(n)) {
+    double acc = 0.0;
+    for (NodeId r = 0; r < n; ++r) {
+      acc += std::pow(static_cast<double>(r + 1) + offset, -alpha);
+      cum_[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+
+  NodeId Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    return static_cast<NodeId>(it - cum_.begin());
+  }
+
+ private:
+  std::vector<double> cum_;
+};
 
 /// Uniform Erdos–Renyi G(n, m): m undirected edges chosen uniformly.
 CsrGraph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, Rng rng);

@@ -122,6 +122,17 @@ std::int64_t GnnModel::ParamBytes() const {
   return bytes;
 }
 
+double GnnModel::ForwardFlops(std::span<const Block> blocks) const {
+  APT_CHECK_EQ(static_cast<int>(blocks.size()), num_layers());
+  double flops = 0.0;
+  for (int k = 0; k < num_layers(); ++k) {
+    const Block& b = blocks[static_cast<std::size_t>(k)];
+    flops += layers_[static_cast<std::size_t>(k)]->ForwardFlops(
+        b.num_src(), b.num_dst, b.num_edges());
+  }
+  return flops;
+}
+
 double GnnModel::StepFlops(std::span<const Block> blocks) const {
   APT_CHECK_EQ(static_cast<int>(blocks.size()), num_layers());
   double flops = 0.0;

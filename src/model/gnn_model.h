@@ -82,6 +82,10 @@ class GnnModel {
   /// simulator's compute-time model.
   double StepFlops(std::span<const Block> blocks) const;
 
+  /// Forward-only flops over the block stack: what an inference pass costs
+  /// (the serving engine's compute-time model).
+  double ForwardFlops(std::span<const Block> blocks) const;
+
  private:
   ModelConfig config_;
   std::vector<std::unique_ptr<GnnLayer>> layers_;

@@ -12,6 +12,12 @@ namespace {
 constexpr double kUsToS = 1e-6;
 /// Category of the engine's step/epoch marker spans (trainer hooks).
 constexpr const char* kEngineCat = "engine";
+/// Category of the serving engine's request/batch/shed spans. Like engine
+/// markers they live on the marker lane — and their timestamps are WALL
+/// simulated time (queueing included), a different time base from the
+/// device lanes' busy-clock slices — so they must not enter the device
+/// window or phase accounting.
+constexpr const char* kServeCat = "serve";
 
 bool IsCommOp(const std::string& name) {
   return name == "alltoall" || name == "allreduce" || name == "allbroadcast" ||
@@ -183,13 +189,20 @@ TraceSet AnalyzeSlices(
     const auto traffic_it = traffic.find(pid);
     if (traffic_it != traffic.end()) a.traffic_bytes = traffic_it->second;
 
-    // Split device slices from engine marker spans.
+    // Split device slices from engine marker spans and serving spans.
     std::vector<const SliceRec*> device;
     std::vector<const SliceRec*> markers;
+    std::vector<const SliceRec*> serve;
     for (const SliceRec* s : recs) {
-      (s->cat == kEngineCat ? markers : device).push_back(s);
+      if (s->cat == kEngineCat) {
+        markers.push_back(s);
+      } else if (s->cat == kServeCat) {
+        serve.push_back(s);
+      } else {
+        device.push_back(s);
+      }
     }
-    if (device.empty() && markers.empty()) continue;
+    if (device.empty() && markers.empty() && serve.empty()) continue;
 
     // Window.
     bool first = true;
@@ -302,6 +315,37 @@ TraceSet AnalyzeSlices(
       a.steps.p95_s = Percentile(step_s, 0.95);
       a.steps.p99_s = Percentile(step_s, 0.99);
       a.steps.max_s = step_s.back();
+    }
+
+    // Serving spans: request-latency distribution, batch occupancy, sheds.
+    std::vector<double> request_s;
+    double batch_rows_sum = 0.0;
+    for (const SliceRec* s : serve) {
+      if (s->name == "request") {
+        request_s.push_back(s->dur_s);
+      } else if (s->name == "shed") {
+        ++a.serve.shed;
+      } else if (s->name == "batch") {
+        ++a.serve.batches;
+        const double rows = MapOr(s->num_args, "rows", 0.0);
+        batch_rows_sum += rows;
+        a.serve.max_batch_rows = std::max(a.serve.max_batch_rows, rows);
+      }
+    }
+    if (!request_s.empty()) {
+      std::sort(request_s.begin(), request_s.end());
+      a.serve.latency.count = static_cast<std::int64_t>(request_s.size());
+      double sum = 0.0;
+      for (double v : request_s) sum += v;
+      a.serve.latency.mean_s = sum / static_cast<double>(request_s.size());
+      a.serve.latency.p50_s = Percentile(request_s, 0.50);
+      a.serve.latency.p95_s = Percentile(request_s, 0.95);
+      a.serve.latency.p99_s = Percentile(request_s, 0.99);
+      a.serve.latency.max_s = request_s.back();
+    }
+    if (a.serve.batches > 0) {
+      a.serve.mean_batch_rows =
+          batch_rows_sum / static_cast<double>(a.serve.batches);
     }
 
     set.tracks.push_back(std::move(a));
@@ -458,6 +502,24 @@ void WriteTrackReport(std::ostream& os, const TraceAnalysis& a) {
     os << "  steps: n=" << a.steps.count << "  mean " << Ms(a.steps.mean_s) << "  p50 "
        << Ms(a.steps.p50_s) << "  p95 " << Ms(a.steps.p95_s) << "  p99 "
        << Ms(a.steps.p99_s) << "  max " << Ms(a.steps.max_s) << "\n";
+  }
+  if (a.serve.Any()) {
+    os << "  serving: requests n=" << a.serve.latency.count << "  shed "
+       << a.serve.shed << "\n";
+    if (a.serve.latency.count > 0) {
+      os << "    request latency: mean " << Ms(a.serve.latency.mean_s)
+         << "  p50 " << Ms(a.serve.latency.p50_s) << "  p95 "
+         << Ms(a.serve.latency.p95_s) << "  p99 " << Ms(a.serve.latency.p99_s)
+         << "  max " << Ms(a.serve.latency.max_s) << "\n";
+    }
+    if (a.serve.batches > 0) {
+      os << "    batches: n=" << a.serve.batches << "  occupancy mean "
+         << std::fixed << std::setprecision(1) << a.serve.mean_batch_rows
+         << " rows  max " << std::setprecision(0) << a.serve.max_batch_rows
+         << " rows\n";
+      os.unsetf(std::ios::fixed);
+      os << std::setprecision(6);
+    }
   }
   os << "\n";
 }
@@ -708,6 +770,14 @@ DiffReport DiffAnalyses(const TraceAnalysis& a, const TraceAnalysis& b,
     put("steps/p50_s", a.steps.p50_s, b.steps.p50_s);
     put("steps/p95_s", a.steps.p95_s, b.steps.p95_s);
     put("steps/p99_s", a.steps.p99_s, b.steps.p99_s);
+  }
+  if (a.serve.Any() || b.serve.Any()) {
+    put("serve/latency_p50_s", a.serve.latency.p50_s, b.serve.latency.p50_s);
+    put("serve/latency_p99_s", a.serve.latency.p99_s, b.serve.latency.p99_s);
+    put("serve/mean_batch_rows", a.serve.mean_batch_rows,
+        b.serve.mean_batch_rows);
+    put("serve/shed", static_cast<double>(a.serve.shed),
+        static_cast<double>(b.serve.shed));
   }
 
   for (const auto& [key, ab] : metrics) {

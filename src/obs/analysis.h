@@ -63,6 +63,21 @@ struct StepTimes {
   double max_s = 0.0;
 };
 
+/// Serving-engine activity on one track (spans with category "serve", which
+/// live on the marker lane in WALL simulated time — arrival to completion,
+/// queueing included — unlike device slices, whose timestamps are busy-clock
+/// accumulations). "request" spans carry end-to-end latency, "batch" spans
+/// carry occupancy in their "rows" arg, "shed" spans count typed rejections.
+struct ServeStats {
+  StepTimes latency;  ///< distribution over "request" span durations
+  std::int64_t shed = 0;
+  std::int64_t batches = 0;
+  double mean_batch_rows = 0.0;
+  double max_batch_rows = 0.0;
+
+  bool Any() const { return latency.count > 0 || shed > 0 || batches > 0; }
+};
+
 /// Everything the analyzer reconstructs for ONE simulated track (one
 /// SimContext: one trainer's virtual cluster).
 struct TraceAnalysis {
@@ -123,6 +138,10 @@ struct TraceAnalysis {
   /// Distribution over "step" marker spans (empty when the engine hooks were
   /// not active, e.g. traces from raw SimContext use).
   StepTimes steps;
+
+  /// Serving-engine request/batch/shed statistics (zero when the track ran
+  /// no serving).
+  ServeStats serve;
 
   /// Sum of the sample/load/train phase maxima: EpochStats::sim_seconds for
   /// a one-epoch trace (the paper's stacked-bar total).

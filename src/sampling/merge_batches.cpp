@@ -1,0 +1,107 @@
+#include "sampling/merge_batches.h"
+
+#include "core/logging.h"
+
+namespace apt {
+
+namespace {
+
+/// One merged dst row: part `part`'s local index `local` in that layer.
+struct RowRef {
+  std::int32_t part = 0;
+  std::int64_t local = 0;
+};
+
+}  // namespace
+
+MergedBatch MergeSampledBatches(std::span<const SampledBatch* const> parts) {
+  APT_CHECK(!parts.empty());
+  const std::size_t num_layers = parts[0]->blocks.size();
+  APT_CHECK_GT(num_layers, 0u);
+  for (const SampledBatch* p : parts) {
+    APT_CHECK_EQ(p->blocks.size(), num_layers);
+  }
+
+  MergedBatch out;
+  out.batch.blocks.resize(num_layers);
+  out.seed_offsets.reserve(parts.size());
+  out.seed_counts.reserve(parts.size());
+
+  // Seed layer (blocks[K-1]) dst order: parts' seeds concatenated, so each
+  // part's logits rows stay contiguous.
+  std::vector<RowRef> dst_order;
+  std::int64_t offset = 0;
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    const std::int64_t n = parts[r]->blocks[num_layers - 1].num_dst;
+    out.seed_offsets.push_back(offset);
+    out.seed_counts.push_back(n);
+    for (std::int64_t j = 0; j < n; ++j) {
+      dst_order.push_back({static_cast<std::int32_t>(r), j});
+    }
+    offset += n;
+    out.batch.seeds.insert(out.batch.seeds.end(), parts[r]->seeds.begin(),
+                           parts[r]->seeds.end());
+  }
+
+  // Walk from the seed layer toward the input layer; each merged layer's
+  // src order becomes the next (shallower) layer's dst order via the
+  // per-part identity blocks[k-1].dst_nodes == blocks[k].src_nodes.
+  for (std::size_t k = num_layers; k-- > 0;) {
+    Block& m = out.batch.blocks[k];
+    m.num_dst = static_cast<std::int64_t>(dst_order.size());
+
+    // Per-part map: local src index in parts[r]->blocks[k] -> merged src
+    // index. Prefix rows (local dst) take their dst_order position; extras
+    // append grouped by part.
+    std::vector<std::vector<std::int64_t>> src_map(parts.size());
+    for (std::size_t r = 0; r < parts.size(); ++r) {
+      src_map[r].assign(
+          static_cast<std::size_t>(parts[r]->blocks[k].num_src()), -1);
+    }
+    m.src_nodes.reserve(dst_order.size());
+    std::vector<RowRef> src_order;
+    for (std::size_t d = 0; d < dst_order.size(); ++d) {
+      const RowRef ref = dst_order[d];
+      const Block& b = parts[static_cast<std::size_t>(ref.part)]->blocks[k];
+      src_map[static_cast<std::size_t>(ref.part)]
+             [static_cast<std::size_t>(ref.local)] =
+          static_cast<std::int64_t>(d);
+      m.src_nodes.push_back(
+          b.src_nodes[static_cast<std::size_t>(ref.local)]);
+      src_order.push_back(ref);
+    }
+    for (std::size_t r = 0; r < parts.size(); ++r) {
+      const Block& b = parts[r]->blocks[k];
+      for (std::int64_t i = b.num_dst; i < b.num_src(); ++i) {
+        src_map[r][static_cast<std::size_t>(i)] =
+            static_cast<std::int64_t>(m.src_nodes.size());
+        m.src_nodes.push_back(b.src_nodes[static_cast<std::size_t>(i)]);
+        src_order.push_back({static_cast<std::int32_t>(r), i});
+      }
+    }
+
+    // Edges: each merged dst row copies its part's edge list in order.
+    m.indptr.reserve(dst_order.size() + 1);
+    m.indptr.push_back(0);
+    for (const RowRef ref : dst_order) {
+      const Block& b = parts[static_cast<std::size_t>(ref.part)]->blocks[k];
+      const std::int64_t lo = b.indptr[static_cast<std::size_t>(ref.local)];
+      const std::int64_t hi =
+          b.indptr[static_cast<std::size_t>(ref.local) + 1];
+      for (std::int64_t e = lo; e < hi; ++e) {
+        const std::int64_t mapped =
+            src_map[static_cast<std::size_t>(ref.part)]
+                   [static_cast<std::size_t>(b.col[static_cast<std::size_t>(e)])];
+        APT_CHECK_GE(mapped, 0);
+        m.col.push_back(mapped);
+      }
+      m.indptr.push_back(static_cast<std::int64_t>(m.col.size()));
+    }
+
+    dst_order = std::move(src_order);
+  }
+
+  return out;
+}
+
+}  // namespace apt

@@ -1,0 +1,48 @@
+// Order-preserving merge of independently sampled block stacks.
+//
+// The serving engine samples each request's k-hop subgraph with the
+// request's own RNG stream, then coalesces a micro-batch of requests into
+// ONE block stack so the gather and forward pass amortize across them. The
+// merge must not change any request's arithmetic: batch-invariance (a
+// request served in a batch of 32 produces bit-identical logits to the same
+// request served alone) is the serving twin of DESIGN.md's strategy-
+// equivalence invariant, and it only holds if the merge preserves
+//
+//   (a) each destination row's edge list and edge ORDER (aggregation order
+//       per row is the accumulation order), and
+//   (b) the cross-layer alignment blocks[k].src_nodes == blocks[k+1]'s
+//       dst rows, index for index, so every layer's input rows line up.
+//
+// Naive per-layer concatenation breaks (b): request 1's extras would land
+// between request 0's dst prefix and its extras. Instead the merge walks
+// layers seed-side first, threading an explicit (request, local-index)
+// order for each layer's dst rows, and lays out each merged layer as
+// [interleaved dst prefix | request 0's extras | request 1's extras | ...],
+// remapping edge endpoints through per-request index maps. Duplicate nodes
+// across requests are deliberately NOT deduplicated — sharing a row would
+// tie a request's arithmetic to its batch-mates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/block.h"
+
+namespace apt {
+
+/// One merged micro-batch plus the bookkeeping to split results back out.
+struct MergedBatch {
+  SampledBatch batch;
+  /// Row ranges of each input batch's seeds in the merged logits:
+  /// part r's logits are rows [seed_offsets[r], seed_offsets[r] +
+  /// seed_counts[r]).
+  std::vector<std::int64_t> seed_offsets;
+  std::vector<std::int64_t> seed_counts;
+};
+
+/// Merges block stacks with identical layer counts. Seeds concatenate in
+/// part order; every part's per-row computation is preserved bit-exactly.
+MergedBatch MergeSampledBatches(std::span<const SampledBatch* const> parts);
+
+}  // namespace apt

@@ -1,0 +1,112 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/error.h"
+
+namespace apt::serve {
+
+namespace {
+
+/// Rows of closed batches no worker has picked up yet. Entries are few —
+/// the backlog is capped by queue_bound plus one in-flight wave — so linear
+/// pruning is fine.
+class PendingRows {
+ public:
+  void Add(double start_s, std::int64_t rows) {
+    pending_.push_back({start_s, rows});
+    rows_ += rows;
+  }
+
+  /// Drops batches already started by time `t` and returns the remainder.
+  std::int64_t RowsAt(double t) {
+    for (std::size_t i = 0; i < pending_.size();) {
+      if (pending_[i].start_s <= t) {
+        rows_ -= pending_[i].rows;
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    return rows_;
+  }
+
+ private:
+  struct Entry {
+    double start_s;
+    std::int64_t rows;
+  };
+  std::vector<Entry> pending_;
+  std::int64_t rows_ = 0;
+};
+
+}  // namespace
+
+BatchPlan PlanBatches(std::span<const Request> arrivals,
+                      const BatchPolicy& policy, const DispatchFn& dispatch) {
+  APT_CHECK_GE(policy.max_batch, 1);
+  APT_CHECK_GE(policy.max_delay_s, 0.0);
+  APT_CHECK_GE(policy.queue_bound, 1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    APT_CHECK_GE(arrivals[i].arrival_s, arrivals[i - 1].arrival_s)
+        << "arrivals must be sorted";
+  }
+
+  BatchPlan plan;
+  std::deque<Request> queue;
+  PendingRows pending;
+  const auto max_batch = static_cast<std::size_t>(policy.max_batch);
+  std::size_t next = 0;
+
+  // Admission: shed while the backlog — rows already queued plus rows of
+  // closed batches still waiting for a worker — has reached the bound.
+  const auto admit = [&](const Request& r) {
+    const std::int64_t backlog =
+        pending.RowsAt(r.arrival_s) + static_cast<std::int64_t>(queue.size());
+    if (backlog >= policy.queue_bound) {
+      plan.shed.push_back(r);
+    } else {
+      queue.push_back(r);
+    }
+  };
+
+  while (next < arrivals.size() || !queue.empty()) {
+    if (queue.empty()) {
+      admit(arrivals[next++]);
+      continue;
+    }
+    // The pending batch's deadline; take everything that arrives before it,
+    // or until the size cap.
+    const double deadline = queue.front().arrival_s + policy.max_delay_s;
+    while (queue.size() < max_batch && next < arrivals.size() &&
+           arrivals[next].arrival_s <= deadline) {
+      admit(arrivals[next++]);
+    }
+    const std::size_t take = std::min(queue.size(), max_batch);
+    PlannedBatch batch;
+    batch.requests.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.requests.push_back(queue.front());
+      queue.pop_front();
+    }
+    // Size-closed: ready the moment its last request arrived. Deadline-
+    // closed: ready at the deadline. Close times are monotone because
+    // arrivals are sorted, and every arrival processed later is at or after
+    // this close (size: last taken arrival <= next arrival; deadline: the
+    // window up to the deadline was drained above) — which is what lets
+    // PendingRows prune by scanning forward in time.
+    batch.close_s =
+        take == max_batch ? batch.requests.back().arrival_s : deadline;
+    const double start_s = dispatch ? dispatch(batch) : batch.close_s;
+    APT_CHECK_GE(start_s, batch.close_s) << "dispatch before batch close";
+    if (start_s > batch.close_s) {
+      pending.Add(start_s, static_cast<std::int64_t>(batch.requests.size()));
+    }
+    plan.batches.push_back(std::move(batch));
+  }
+  return plan;
+}
+
+}  // namespace apt::serve

@@ -1,0 +1,63 @@
+// Dynamic micro-batcher with admission control.
+//
+// Queued requests coalesce into micro-batches under a latency budget: a
+// batch closes when it reaches `max_batch` requests OR when the OLDEST
+// queued request has waited `max_delay_s`, whichever comes first — the
+// standard deadline/size rule (TensorFlow Serving's shared batcher, Triton's
+// dynamic batcher).
+//
+// Admission control sheds arrivals with a typed rejection once the server's
+// BACKLOG — the open queue plus every closed batch still waiting for a
+// worker — reaches `queue_bound` rows: under overload an open-loop queue
+// grows without limit, and shedding early keeps the latency of ADMITTED
+// requests bounded (fail fast beats queueing forever). Backlog is the one
+// place batching touches execution state, and it enters through a single
+// seam: the `dispatch` callback, which the caller invokes per closed batch
+// and answers with the batch's start time (when a worker actually picks it
+// up). Batch GROUPING and close times stay a pure function of arrivals and
+// policy; only admission reads the callback's answers. Without a callback
+// every batch starts at its close time — infinitely many workers, zero
+// backlog, nothing shed — which is the pure-batching core the unit tests
+// exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace apt::serve {
+
+struct BatchPolicy {
+  int max_batch = 32;          ///< close on size
+  double max_delay_s = 1e-3;   ///< close when the oldest request waited this
+  /// Shed arrivals while backlog (queued + closed-but-unstarted rows)
+  /// is at least this many rows.
+  std::int64_t queue_bound = 256;
+};
+
+/// One closed micro-batch: dispatchable at close_s.
+struct PlannedBatch {
+  double close_s = 0.0;
+  std::vector<Request> requests;
+};
+
+struct BatchPlan {
+  std::vector<PlannedBatch> batches;  ///< in close-time order
+  std::vector<Request> shed;          ///< queue-full rejections
+};
+
+/// Answers "when does this closed batch start executing?". The callback may
+/// run the batch (the serving engine executes in round-robin waves inside
+/// it); it must return a start time >= the batch's close_s.
+using DispatchFn = std::function<double(const PlannedBatch&)>;
+
+/// Runs the batcher over an arrival-sorted request stream. `dispatch` (may
+/// be empty) feeds worker start times back into the admission backlog.
+BatchPlan PlanBatches(std::span<const Request> arrivals,
+                      const BatchPolicy& policy,
+                      const DispatchFn& dispatch = {});
+
+}  // namespace apt::serve

@@ -1,0 +1,49 @@
+// Request/response types of the online inference serving engine.
+//
+// A request is one user query: "classify seed node v". The engine samples
+// v's k-hop subgraph, gathers input features, and runs a forward pass on
+// frozen parameters; the response carries the seed's class logits plus the
+// timing the tail-latency reports are built from. All times are SIMULATED
+// seconds on the modeled cluster (the same virtual clocks training charges),
+// so every latency number is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace apt::serve {
+
+using RequestId = std::int64_t;
+
+struct Request {
+  RequestId id = 0;
+  NodeId seed = 0;
+  double arrival_s = 0.0;  ///< open-loop arrival on the simulated clock
+};
+
+/// Typed rejection causes (admission control / failure handling). A shed
+/// request always gets a response — never a hang.
+enum class ShedReason : int {
+  kNone = 0,
+  kQueueFull = 1,  ///< admission control: queue exceeded its bound
+  kPoisoned = 2,   ///< barrier poisoned (cluster fault); fail fast
+};
+
+const char* ToString(ShedReason r);
+
+struct Response {
+  RequestId id = 0;
+  NodeId seed = 0;
+  double arrival_s = 0.0;
+  double done_s = 0.0;     ///< completion time; == arrival_s when shed
+  double latency_s = 0.0;  ///< done_s - arrival_s
+  bool shed = false;
+  ShedReason shed_reason = ShedReason::kNone;
+  std::int64_t batch_rows = 0;  ///< seed rows of the batch that served it
+  DeviceId worker = -1;
+  std::vector<float> logits;  ///< class scores (empty when shed)
+};
+
+}  // namespace apt::serve

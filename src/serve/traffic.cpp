@@ -1,0 +1,80 @@
+#include "serve/traffic.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/random.h"
+#include "graph/generators.h"
+
+namespace apt::serve {
+
+const char* ToString(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential inter-arrival draw; 1-u keeps log's argument in (0, 1].
+double ExpDraw(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.NextDouble()) / rate;
+}
+
+}  // namespace
+
+std::vector<Request> GenerateTraffic(const TrafficConfig& config) {
+  APT_CHECK_GT(config.rate_qps, 0.0);
+  APT_CHECK_GT(config.duration_s, 0.0);
+  APT_CHECK_GT(config.num_nodes, 0);
+
+  Rng base(config.seed);
+  Rng arrival_rng = base.Fork(0);
+  Rng seed_rng = base.Fork(1);
+  const ZipfSampler popularity(config.num_nodes, config.zipf_alpha,
+                               config.zipf_offset);
+
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(config.rate_qps * config.duration_s));
+
+  double t = 0.0;
+  if (config.kind == ArrivalKind::kPoisson) {
+    for (;;) {
+      t += ExpDraw(arrival_rng, config.rate_qps);
+      if (t >= config.duration_s) break;
+      out.push_back({static_cast<RequestId>(out.size()),
+                     popularity.Sample(seed_rng), t});
+    }
+  } else {
+    APT_CHECK_GT(config.burst_period_s, 0.0);
+    APT_CHECK(config.burst_duty > 0.0 && config.burst_duty <= 1.0);
+    const double on_s = config.burst_period_s * config.burst_duty;
+    const double on_rate = config.rate_qps / config.burst_duty;
+    for (;;) {
+      // Position within the current period; draws outside the on-window
+      // jump to the next period's window start (off-phase emits nothing).
+      // Jump via the period index, not `t += period - phase`: when fmod
+      // lands just below the period, that increment is sub-ulp and t would
+      // never advance.
+      const double phase = std::fmod(t, config.burst_period_s);
+      if (phase >= on_s) {
+        const double next = (std::floor(t / config.burst_period_s) + 1.0) *
+                            config.burst_period_s;
+        t = next > t ? next : t + config.burst_period_s;
+        continue;
+      }
+      t += ExpDraw(arrival_rng, on_rate);
+      if (t >= config.duration_s) break;
+      if (std::fmod(t, config.burst_period_s) >= on_s) continue;  // crossed out
+      out.push_back({static_cast<RequestId>(out.size()),
+                     popularity.Sample(seed_rng), t});
+    }
+  }
+  return out;
+}
+
+}  // namespace apt::serve

@@ -1,0 +1,51 @@
+// Synthetic open-loop request traffic on the simulated clock.
+//
+// Open loop: arrival times are drawn from the process independently of how
+// fast the server drains them (the load-testing discipline that exposes
+// queueing collapse; a closed loop would self-throttle and hide it). Two
+// arrival processes — Poisson and bursty on/off — with per-user seed
+// popularity drawn from the same shifted-Zipf family the graph generators
+// use for access skew, so the request mix exercises the cache the way
+// Table 3's skew numbers predict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "serve/request.h"
+
+namespace apt::serve {
+
+enum class ArrivalKind : int {
+  kPoisson = 0,  ///< exponential inter-arrivals at rate_qps
+  kBursty = 1,   ///< on/off modulated Poisson (same mean rate)
+};
+
+const char* ToString(ArrivalKind k);
+
+struct TrafficConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_qps = 1000.0;  ///< mean offered load over the whole run
+  double duration_s = 1.0;   ///< arrivals fall in [0, duration_s)
+
+  /// Bursty shape: within each period, arrivals only during the first
+  /// `burst_duty` fraction, at rate rate_qps / burst_duty — the mean rate
+  /// matches the Poisson config, the peaks stress the batcher and queue.
+  double burst_period_s = 0.02;
+  double burst_duty = 0.25;
+
+  /// Seed popularity: user r of the popularity ranking queries node r;
+  /// rank weights follow (rank+1+offset)^-alpha over num_nodes.
+  NodeId num_nodes = 0;
+  double zipf_alpha = 0.8;
+  double zipf_offset = 0.0;
+
+  std::uint64_t seed = 1;  ///< one stream for arrivals, one for seeds
+};
+
+/// Generates the full arrival sequence, sorted by arrival time, with
+/// request ids 0..n-1 in arrival order. Deterministic given the config.
+std::vector<Request> GenerateTraffic(const TrafficConfig& config);
+
+}  // namespace apt::serve

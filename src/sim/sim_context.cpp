@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -83,20 +84,27 @@ std::string SimContext::ObsTrackLabel() const {
 }
 
 std::int32_t SimContext::ObsPid() const {
-  if (obs_pid_ < 0) {
-    std::vector<std::string> lanes;
-    lanes.reserve(2 * static_cast<std::size_t>(num_devices()) + 1);
-    for (DeviceId d = 0; d < num_devices(); ++d) {
-      lanes.push_back("gpu" + std::to_string(d));
-    }
-    for (DeviceId d = 0; d < num_devices(); ++d) {
-      lanes.push_back("gpu" + std::to_string(d) + ".comm");  // ObsCommLane
-    }
-    lanes.push_back("steps");  // ObsStepLane: engine markers
-    obs_pid_ = obs::Tracer::Global().RegisterSimTrack(
-        ObsTrackLabel(), 2 * num_devices() + 1, std::move(lanes));
+  // Concurrent serving workers may race to the first emission; a mutex keeps
+  // the registration single-shot (the id itself is published atomically).
+  std::int32_t pid = obs_pid_.load(std::memory_order_acquire);
+  if (pid >= 0) return pid;
+  static std::mutex register_mutex;
+  std::lock_guard<std::mutex> lock(register_mutex);
+  pid = obs_pid_.load(std::memory_order_acquire);
+  if (pid >= 0) return pid;
+  std::vector<std::string> lanes;
+  lanes.reserve(2 * static_cast<std::size_t>(num_devices()) + 1);
+  for (DeviceId d = 0; d < num_devices(); ++d) {
+    lanes.push_back("gpu" + std::to_string(d));
   }
-  return obs_pid_;
+  for (DeviceId d = 0; d < num_devices(); ++d) {
+    lanes.push_back("gpu" + std::to_string(d) + ".comm");  // ObsCommLane
+  }
+  lanes.push_back("steps");  // ObsStepLane: engine markers
+  pid = obs::Tracer::Global().RegisterSimTrack(
+      ObsTrackLabel(), 2 * num_devices() + 1, std::move(lanes));
+  obs_pid_.store(pid, std::memory_order_release);
+  return pid;
 }
 
 void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
@@ -130,7 +138,9 @@ void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
                      args);
   }
 #ifndef NDEBUG
-  DebugCheckClockInvariant();
+  // Only the advanced device: concurrent phases advance different devices
+  // from different threads, so the all-device sweep would read torn state.
+  DebugCheckClockInvariant(dev);
 #endif
 }
 
@@ -218,20 +228,23 @@ double SimContext::CommStreamMax(Phase phase) const {
 }
 
 void SimContext::DebugCheckClockInvariant() const {
-  for (std::size_t i = 0; i < clocks_.size(); ++i) {
-    double phase_sum = 0.0, comm_sum = 0.0;
-    for (int p = 0; p < kNumPhases; ++p) {
-      phase_sum += phase_time_[i][static_cast<std::size_t>(p)];
-      comm_sum += comm_time_[i][static_cast<std::size_t>(p)];
-    }
-    const double tol = 1e-9 * std::max(1.0, std::abs(clocks_[i]));
-    APT_CHECK(std::abs(phase_sum - clocks_[i]) <= tol)
-        << "device " << i << ": phase times sum to " << phase_sum
-        << " but clock is " << clocks_[i];
-    APT_CHECK(comm_sum <= phase_sum + tol)
-        << "device " << i << ": comm time " << comm_sum
-        << " exceeds total phase time " << phase_sum;
+  for (DeviceId d = 0; d < num_devices(); ++d) DebugCheckClockInvariant(d);
+}
+
+void SimContext::DebugCheckClockInvariant(DeviceId dev) const {
+  const std::size_t i = Check(dev);
+  double phase_sum = 0.0, comm_sum = 0.0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    phase_sum += phase_time_[i][static_cast<std::size_t>(p)];
+    comm_sum += comm_time_[i][static_cast<std::size_t>(p)];
   }
+  const double tol = 1e-9 * std::max(1.0, std::abs(clocks_[i]));
+  APT_CHECK(std::abs(phase_sum - clocks_[i]) <= tol)
+      << "device " << i << ": phase times sum to " << phase_sum
+      << " but clock is " << clocks_[i];
+  APT_CHECK(comm_sum <= phase_sum + tol)
+      << "device " << i << ": comm time " << comm_sum
+      << " exceeds total phase time " << phase_sum;
 }
 
 double SimContext::ComputeSeconds(DeviceId dev, double flops) const {
@@ -267,16 +280,19 @@ TrafficClass SimContext::ClassifyCpuLink(DeviceId dev, MachineId m) const {
 void SimContext::CountTraffic(TrafficClass c, std::int64_t bytes,
                               std::int64_t wire_bytes) {
   const std::size_t i = static_cast<std::size_t>(c);
-  traffic_bytes_[i] += bytes;
-  traffic_wire_bytes_[i] += wire_bytes;
+  const std::int64_t total =
+      traffic_bytes_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const std::int64_t wire_total =
+      traffic_wire_bytes_[i].fetch_add(wire_bytes, std::memory_order_relaxed) +
+      wire_bytes;
   if (bytes > 0 || wire_bytes > 0) {
     if (bytes > 0) TrafficCounter(c).Add(bytes);
     if (wire_bytes > 0) TrafficWireCounter(c).Add(wire_bytes);
     if (obs::TracingEnabled()) {
       obs::EmitSimCounter(
           ObsPid(), MaxNow(), "traffic_bytes",
-          {{ToString(c), static_cast<double>(traffic_bytes_[i]), nullptr},
-           {WireKey(c), static_cast<double>(traffic_wire_bytes_[i]), nullptr}});
+          {{ToString(c), static_cast<double>(total), nullptr},
+           {WireKey(c), static_cast<double>(wire_total), nullptr}});
     }
   }
 }
@@ -324,15 +340,20 @@ obs::Counter& FaultCounter(const char* name) {
 void SimContext::InstallFaults(FaultPlan plan) {
   faults_ = std::move(plan);
   next_collective_fault_ = 0;
-  straggler_seen_.assign(faults_.stragglers.size(), 0);
-  link_seen_.assign(faults_.links.size(), 0);
+  // vector<atomic> has no assign; a fresh value-initialized vector zeroes
+  // every flag.
+  straggler_seen_ =
+      std::vector<std::atomic<std::uint8_t>>(faults_.stragglers.size());
+  link_seen_ = std::vector<std::atomic<std::uint8_t>>(faults_.links.size());
 }
 
 void SimContext::NoteStragglerObserved(std::size_t fault_index, DeviceId dev,
                                        double at_s) const {
-  if (straggler_seen_[fault_index]) return;
-  straggler_seen_[fault_index] = 1;
-  ++faults_observed_;
+  // exchange keeps the emission one-shot under concurrent observers.
+  if (straggler_seen_[fault_index].exchange(1, std::memory_order_relaxed)) {
+    return;
+  }
+  faults_observed_.fetch_add(1, std::memory_order_relaxed);
   FaultCounter("fault.straggler.observed").Increment();
   if (obs::TracingEnabled()) {
     const StragglerFault& s = faults_.stragglers[fault_index];
@@ -342,9 +363,8 @@ void SimContext::NoteStragglerObserved(std::size_t fault_index, DeviceId dev,
 }
 
 void SimContext::NoteLinkObserved(std::size_t fault_index, double at_s) const {
-  if (link_seen_[fault_index]) return;
-  link_seen_[fault_index] = 1;
-  ++faults_observed_;
+  if (link_seen_[fault_index].exchange(1, std::memory_order_relaxed)) return;
+  faults_observed_.fetch_add(1, std::memory_order_relaxed);
   FaultCounter("fault.link.observed").Increment();
   if (obs::TracingEnabled()) {
     const LinkFault& l = faults_.links[fault_index];

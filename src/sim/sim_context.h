@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
@@ -104,7 +105,11 @@ class SimContext {
   /// Invariant: each device's per-phase times sum to its clock (every clock
   /// mutation funnels through Advance/BarrierAll, which update both).
   /// Checked after every advance in debug builds; callable from tests.
+  /// The single-device overload is what the per-advance debug check uses —
+  /// concurrent phases (the serving engine runs devices on different
+  /// threads) must not read other devices' in-flight state.
   void DebugCheckClockInvariant() const;
+  void DebugCheckClockInvariant(DeviceId dev) const;
 
   // --- pipelined micro-batch execution ---------------------------------
   //
@@ -237,7 +242,9 @@ class SimContext {
 
   /// Total fault activations observed so far (each straggler/link fault
   /// counts once on first observation; each collective fault on firing).
-  std::int64_t FaultsObserved() const { return faults_observed_; }
+  std::int64_t FaultsObserved() const {
+    return faults_observed_.load(std::memory_order_relaxed);
+  }
 
   // --- barrier poisoning ------------------------------------------------
   //
@@ -268,14 +275,16 @@ class SimContext {
     CountTraffic(c, bytes, bytes);
   }
   std::int64_t TrafficBytes(TrafficClass c) const {
-    return traffic_bytes_[static_cast<std::size_t>(c)];
+    return traffic_bytes_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
   }
   std::int64_t TrafficWireBytes(TrafficClass c) const {
-    return traffic_wire_bytes_[static_cast<std::size_t>(c)];
+    return traffic_wire_bytes_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
   }
   void ResetTraffic() {
-    traffic_bytes_.fill(0);
-    traffic_wire_bytes_.fill(0);
+    for (auto& b : traffic_bytes_) b.store(0, std::memory_order_relaxed);
+    for (auto& b : traffic_wire_bytes_) b.store(0, std::memory_order_relaxed);
   }
 
   // --- memory -----------------------------------------------------------
@@ -331,22 +340,29 @@ class SimContext {
   std::vector<std::array<double, kNumPhases>> comm_stream_time_;
   int pipeline_depth_ = 1;  ///< >1 while capturing a pipelined step
   std::vector<PipelineOp> pipeline_tape_;
-  std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
+  // Traffic totals and fault-observation flags are atomic: concurrent
+  // serving workers gather features (CountTraffic) and evaluate link /
+  // straggler faults (NoteObserved) from different threads. Everything else
+  // is per-device state touched only by that device's thread, or
+  // bookkeeping confined to single-threaded sections.
+  std::array<std::atomic<std::int64_t>,
+             static_cast<std::size_t>(TrafficClass::kNumClasses)>
       traffic_bytes_{};
-  std::array<std::int64_t, static_cast<std::size_t>(TrafficClass::kNumClasses)>
+  std::array<std::atomic<std::int64_t>,
+             static_cast<std::size_t>(TrafficClass::kNumClasses)>
       traffic_wire_bytes_{};
   std::vector<std::int64_t> persistent_bytes_;
   std::vector<std::int64_t> peak_bytes_;
-  mutable std::int32_t obs_pid_ = -1;  ///< lazily registered trace track
+  mutable std::atomic<std::int32_t> obs_pid_{-1};  ///< lazy trace track
 
   FaultPlan faults_;
   std::size_t next_collective_fault_ = 0;  ///< index into faults_.collectives
   std::int64_t collective_bytes_ = 0;
   bool poisoned_ = false;
   std::string poison_reason_;
-  mutable std::int64_t faults_observed_ = 0;
-  mutable std::vector<std::uint8_t> straggler_seen_;  ///< per-fault flags
-  mutable std::vector<std::uint8_t> link_seen_;
+  mutable std::atomic<std::int64_t> faults_observed_{0};
+  mutable std::vector<std::atomic<std::uint8_t>> straggler_seen_;  ///< flags
+  mutable std::vector<std::atomic<std::uint8_t>> link_seen_;
 };
 
 }  // namespace apt

@@ -1,0 +1,146 @@
+// Chaos coverage for the serving engine: injected faults may inflate tail
+// latency but must NEVER corrupt a response, and a poisoned cluster sheds
+// with a typed reason instead of hanging — the serving twin of the
+// trainer's fail-fast barrier semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "serve/serve_engine.h"
+#include "serve/traffic.h"
+#include "sim/fault.h"
+#include "test_util.h"
+
+namespace apt::serve {
+namespace {
+
+using apt::testing::SmallDataset;
+
+ModelConfig ChaosModel() {
+  ModelConfig m;
+  m.num_layers = 2;
+  m.hidden_dim = 8;
+  return m;
+}
+
+ServeOptions ChaosOptions() {
+  ServeOptions o;
+  o.fanouts = {4, 4};
+  o.batch.max_batch = 16;
+  o.batch.max_delay_s = 2e-4;
+  o.batch.queue_bound = 1 << 20;  // no shedding: compare full response sets
+  o.cache_bytes_per_device = 1 << 18;
+  return o;
+}
+
+std::vector<Request> ChaosTraffic(const Dataset& ds) {
+  TrafficConfig t;
+  t.rate_qps = 30000.0;
+  t.duration_s = 0.01;
+  t.num_nodes = ds.graph.num_nodes();
+  t.seed = 23;
+  return GenerateTraffic(t);
+}
+
+TEST(ServeChaos, StragglerInflatesTailButNeverCorruptsResponses) {
+  const Dataset ds = SmallDataset(16, 1500);
+  const std::vector<Request> reqs = ChaosTraffic(ds);
+
+  ServeEngine clean(ds, SingleMachineCluster(2), ChaosModel(), ChaosOptions());
+  const ServeReport healthy = clean.Run(reqs);
+
+  ServeEngine faulty(ds, SingleMachineCluster(2), ChaosModel(), ChaosOptions());
+  FaultPlan plan;
+  plan.stragglers.push_back(
+      {/*device=*/0, /*start_s=*/0.0, /*end_s=*/1.0, /*slowdown=*/8.0});
+  faulty.sim().InstallFaults(plan);
+  const ServeReport degraded = faulty.Run(reqs);
+
+  // Same work served; only the clock suffered.
+  EXPECT_EQ(healthy.served, degraded.served);
+  EXPECT_EQ(degraded.shed, 0);
+  EXPECT_GT(degraded.p99_s, healthy.p99_s);
+  EXPECT_LT(degraded.completed_qps, healthy.completed_qps);
+
+  // Every logit bit-identical: faults perturb time, never values.
+  ASSERT_EQ(healthy.responses.size(), degraded.responses.size());
+  for (std::size_t i = 0; i < healthy.responses.size(); ++i) {
+    const Response& h = healthy.responses[i];
+    const Response& d = degraded.responses[i];
+    ASSERT_EQ(h.id, d.id);
+    ASSERT_EQ(h.logits.size(), d.logits.size());
+    ASSERT_EQ(std::memcmp(h.logits.data(), d.logits.data(),
+                          h.logits.size() * sizeof(float)),
+              0)
+        << "request " << h.id;
+  }
+}
+
+TEST(ServeChaos, DegradedFeatureLinksOnlySlowTheClock) {
+  const Dataset ds = SmallDataset(16, 1500);
+  const std::vector<Request> reqs = ChaosTraffic(ds);
+
+  // No GPU cache: with one the whole (small) feature table fits and every
+  // gather is a cache hit, immune to link faults by design.
+  ServeOptions opts = ChaosOptions();
+  opts.cache_bytes_per_device = 0;
+
+  ServeEngine clean(ds, MultiMachineCluster(2, 2), ChaosModel(), opts);
+  const ServeReport healthy = clean.Run(reqs);
+
+  ServeEngine faulty(ds, MultiMachineCluster(2, 2), ChaosModel(), opts);
+  FaultPlan plan;
+  LinkFault slow_pcie;
+  slow_pcie.link_class = 0;  // TrafficClass::kLocalCpuGpu: the gather path
+  slow_pcie.bandwidth_factor = 0.1;
+  slow_pcie.extra_latency_s = 50e-6;
+  plan.links.push_back(slow_pcie);
+  LinkFault flaky_eth;
+  flaky_eth.link_class = 2;  // kCrossMachine: remote feature shards
+  flaky_eth.bandwidth_factor = 0.25;
+  flaky_eth.flap_period_s = 1e-3;
+  flaky_eth.flap_duty = 0.5;
+  plan.links.push_back(flaky_eth);
+  faulty.sim().InstallFaults(plan);
+  const ServeReport degraded = faulty.Run(reqs);
+
+  EXPECT_EQ(healthy.served, degraded.served);
+  EXPECT_GT(degraded.p99_s, healthy.p99_s);
+  ASSERT_EQ(healthy.responses.size(), degraded.responses.size());
+  for (std::size_t i = 0; i < healthy.responses.size(); ++i) {
+    ASSERT_EQ(std::memcmp(healthy.responses[i].logits.data(),
+                          degraded.responses[i].logits.data(),
+                          healthy.responses[i].logits.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(ServeChaos, PoisonedClusterShedsTypedAndNeverHangs) {
+  const Dataset ds = SmallDataset(16, 1500);
+  ServeEngine engine(ds, SingleMachineCluster(2), ChaosModel(),
+                     ChaosOptions());
+  engine.sim().PoisonBarrier("collective failure elsewhere on the cluster");
+
+  const std::vector<Request> reqs = ChaosTraffic(ds);
+  const ServeReport report = engine.Run(reqs);  // must return, not hang
+
+  EXPECT_EQ(report.served, 0);
+  EXPECT_EQ(report.shed, report.offered);
+  EXPECT_EQ(report.shed_poisoned, report.offered);
+  EXPECT_EQ(report.shed_queue_full, 0);
+  EXPECT_EQ(report.responses.size(), reqs.size());
+  for (const Response& r : report.responses) {
+    EXPECT_TRUE(r.shed);
+    EXPECT_EQ(r.shed_reason, ShedReason::kPoisoned);
+    EXPECT_TRUE(r.logits.empty());
+  }
+
+  // Recovery restores service on the same engine.
+  engine.sim().ClearBarrierPoison();
+  const ServeReport recovered = engine.Run(reqs);
+  EXPECT_EQ(recovered.served, recovered.offered);
+  EXPECT_EQ(recovered.shed, 0);
+}
+
+}  // namespace
+}  // namespace apt::serve

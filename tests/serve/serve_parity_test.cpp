@@ -1,0 +1,138 @@
+// Batch-invariance parity: a request's logits must be bit-identical whether
+// it is served alone or inside any micro-batch. This is the serving twin of
+// the trainer's strategy-equivalence invariant, and it holds because (a)
+// each request's subgraph is sampled from an RNG stream keyed by the request
+// id, (b) MergeSampledBatches preserves per-destination-row edge order, and
+// (c) the forward kernels are per-row. Any dedup across requests, shared
+// sampling state, or row-order-dependent reduction breaks it bitwise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "serve/serve_engine.h"
+#include "serve/traffic.h"
+#include "test_util.h"
+
+namespace apt::serve {
+namespace {
+
+using apt::testing::SmallDataset;
+
+ModelConfig ParityModel() {
+  ModelConfig m;
+  m.kind = ModelKind::kSage;
+  m.num_layers = 2;
+  m.hidden_dim = 16;
+  return m;
+}
+
+ServeOptions ParityOptions(int max_batch) {
+  ServeOptions o;
+  o.fanouts = {5, 5};
+  o.batch.max_batch = max_batch;
+  o.batch.max_delay_s = 1e-3;
+  o.batch.queue_bound = 1 << 20;  // nothing shed: every request must appear
+  o.cache_bytes_per_device = 1 << 18;
+  return o;
+}
+
+std::vector<Request> ParityTraffic(const Dataset& ds) {
+  TrafficConfig t;
+  t.rate_qps = 100000.0;  // dense arrivals so batches actually fill
+  t.duration_s = 0.005;
+  t.num_nodes = ds.graph.num_nodes();
+  t.zipf_alpha = 0.9;  // repeated hot seeds: same seed in one batch twice
+  t.seed = 17;
+  return GenerateTraffic(t);
+}
+
+TEST(ServeParity, BatchOf32MatchesSoloBitwise) {
+  const Dataset ds = SmallDataset(16, 1500);
+  ServeEngine engine(ds, SingleMachineCluster(2), ParityModel(),
+                     ParityOptions(32));
+  const std::vector<Request> reqs = ParityTraffic(ds);
+  const ServeReport report = engine.Run(reqs);
+
+  ASSERT_EQ(report.shed, 0);
+  ASSERT_EQ(report.responses.size(), reqs.size());
+  ASSERT_GT(report.max_batch_rows, 16);  // the load really batched
+
+  // Solo-serve every request on the worker that served it in the batch and
+  // demand bitwise identity. ServeSolo advances the worker's clock but
+  // cannot change values.
+  for (const Response& r : report.responses) {
+    const Request request{r.id, r.seed, r.arrival_s};
+    const Tensor solo = engine.ServeSolo(request, r.worker);
+    ASSERT_EQ(static_cast<std::size_t>(solo.numel()), r.logits.size())
+        << "request " << r.id;
+    ASSERT_EQ(std::memcmp(solo.data(), r.logits.data(),
+                          r.logits.size() * sizeof(float)),
+              0)
+        << "request " << r.id << " (seed " << r.seed << ", batch of "
+        << r.batch_rows << ")";
+  }
+}
+
+TEST(ServeParity, BatchSizeDoesNotChangeAnyLogit) {
+  // Same traffic through a batch-32 engine and a batch-1 engine: every
+  // per-request logit vector must match bitwise even though the batch
+  // compositions are completely different.
+  const Dataset ds = SmallDataset(16, 1500);
+  const std::vector<Request> reqs = ParityTraffic(ds);
+
+  ServeEngine batched(ds, SingleMachineCluster(2), ParityModel(),
+                      ParityOptions(32));
+  ServeEngine solo(ds, SingleMachineCluster(2), ParityModel(),
+                   ParityOptions(1));
+  const ServeReport ra = batched.Run(reqs);
+  const ServeReport rb = solo.Run(reqs);
+
+  ASSERT_EQ(ra.responses.size(), rb.responses.size());
+  for (std::size_t i = 0; i < ra.responses.size(); ++i) {
+    ASSERT_EQ(ra.responses[i].id, rb.responses[i].id);
+    ASSERT_EQ(ra.responses[i].logits.size(), rb.responses[i].logits.size());
+    ASSERT_EQ(std::memcmp(ra.responses[i].logits.data(),
+                          rb.responses[i].logits.data(),
+                          ra.responses[i].logits.size() * sizeof(float)),
+              0)
+        << "request " << ra.responses[i].id;
+  }
+  // Timing, by contrast, must differ: batching trades queueing delay for
+  // amortized service.
+  EXPECT_NE(ra.p99_s, rb.p99_s);
+}
+
+TEST(ServeParity, LoadedParamsPropagateToServing) {
+  // Logits must reflect loaded (non-init) parameters on every worker, and
+  // parity must survive the reload.
+  const Dataset ds = SmallDataset(16, 1500);
+  ModelConfig cfg = ParityModel();
+  cfg.input_dim = ds.feature_dim();
+  cfg.num_classes = ds.num_classes;
+  cfg.init_seed = 4321;  // different stream than the serving replicas
+  GnnModel trained(cfg);
+
+  ServeEngine engine(ds, SingleMachineCluster(2), ParityModel(),
+                     ParityOptions(32));
+  const Request probe{0, 7, 0.0};
+  const Tensor before = engine.ServeSolo(probe, 0);
+  engine.LoadParams(trained);
+  const Tensor after0 = engine.ServeSolo(probe, 0);
+  const Tensor after1 = engine.ServeSolo(probe, 1);
+
+  ASSERT_EQ(before.numel(), after0.numel());
+  EXPECT_NE(std::memcmp(before.data(), after0.data(),
+                        static_cast<std::size_t>(before.numel()) *
+                            sizeof(float)),
+            0)
+      << "loading new params must change the logits";
+  // Both workers serve identical values from the loaded params.
+  ASSERT_EQ(after0.numel(), after1.numel());
+  EXPECT_EQ(std::memcmp(after0.data(), after1.data(),
+                        static_cast<std::size_t>(after0.numel()) *
+                            sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace apt::serve

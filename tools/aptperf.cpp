@@ -94,7 +94,9 @@ void WriteCsv(std::ostream& os, const TraceSet& set, bool all_tracks) {
   const auto marked = set.MarkedTracks();
   const bool filter = !all_tracks && !marked.empty();
   for (const TraceAnalysis& a : set.tracks) {
-    if (filter && a.strategy.empty() && a.steps.count == 0) continue;
+    if (filter && a.strategy.empty() && a.steps.count == 0 && !a.serve.Any()) {
+      continue;
+    }
     const auto row = [&](const std::string& metric, double v) {
       os << a.pid << "," << a.strategy << "," << a.track_label << "," << metric
          << "," << v << "\n";
@@ -115,6 +117,16 @@ void WriteCsv(std::ostream& os, const TraceSet& set, bool all_tracks) {
       row("steps/p50_s", a.steps.p50_s);
       row("steps/p95_s", a.steps.p95_s);
       row("steps/p99_s", a.steps.p99_s);
+    }
+    if (a.serve.Any()) {
+      row("serve/latency_p50_s", a.serve.latency.p50_s);
+      row("serve/latency_p95_s", a.serve.latency.p95_s);
+      row("serve/latency_p99_s", a.serve.latency.p99_s);
+      // Counts and occupancy, not seconds (same caveat as traffic bytes).
+      row("serve/requests", static_cast<double>(a.serve.latency.count));
+      row("serve/shed", static_cast<double>(a.serve.shed));
+      row("serve/batches", static_cast<double>(a.serve.batches));
+      row("serve/mean_batch_rows", a.serve.mean_batch_rows);
     }
   }
 }
