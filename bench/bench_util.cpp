@@ -9,6 +9,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
@@ -39,6 +40,8 @@ struct BenchRun {
   std::string trace_out;
   std::string metrics_out;
   std::string records_out;
+  std::string telemetry_out;
+  std::string prom_out;
   std::vector<std::string> records;
 };
 
@@ -107,7 +110,9 @@ void BenchInit(const std::string& name, int* argc, char** argv) {
     for (int i = 1; i < *argc; ++i) {
       if (TakeFlag(argv[i], "--trace-out=", &run.trace_out) ||
           TakeFlag(argv[i], "--metrics-out=", &run.metrics_out) ||
-          TakeFlag(argv[i], "--records-out=", &run.records_out)) {
+          TakeFlag(argv[i], "--records-out=", &run.records_out) ||
+          TakeFlag(argv[i], "--telemetry-out=", &run.telemetry_out) ||
+          TakeFlag(argv[i], "--prom-out=", &run.prom_out)) {
         continue;
       }
       argv[w++] = argv[i];
@@ -168,6 +173,24 @@ int BenchFinish() {
                   run.trace_out.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", run.trace_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!run.telemetry_out.empty()) {
+    if (obs::Telemetry::Global().WriteTimelineFile(run.telemetry_out)) {
+      std::printf("wrote %s\n", run.telemetry_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", run.telemetry_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!run.prom_out.empty()) {
+    std::ofstream os(run.prom_out);
+    if (os) obs::WritePrometheusText(os);
+    if (os) {
+      std::printf("wrote %s\n", run.prom_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", run.prom_out.c_str());
       rc = 1;
     }
   }

@@ -87,6 +87,9 @@ void PrintCaseRow(const CaseResult& result);
 ///                         trace on finish
 ///   --metrics-out=<file>  dump the metrics registry as JSON on finish
 ///   --records-out=<file>  records file (default BENCH_<name>.json)
+///   --telemetry-out=<file> windowed telemetry timeline JSONL on finish
+///                          (feed to `aptperf timeline` / `aptperf slo`)
+///   --prom-out=<file>     Prometheus-style text snapshot on finish
 void BenchInit(const std::string& name, int* argc = nullptr, char** argv = nullptr);
 
 /// Appends one pre-serialized JSON object to the run's records.

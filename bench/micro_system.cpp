@@ -4,11 +4,15 @@
 // also lands as a JSON record in BENCH_micro_system.json (see bench_gbench.h).
 #include <benchmark/benchmark.h>
 
+#include "apt/adapter.h"
 #include "apt/planner.h"
 #include "bench_gbench.h"
 #include "core/logging.h"
 #include "comm/collectives.h"
+#include "engine/trainer.h"
 #include "graph/generators.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "partition/partitioner.h"
 
 namespace apt {
@@ -104,6 +108,75 @@ void BM_DryRunPlanner(benchmark::State& state) {
       plan.estimates[static_cast<std::size_t>(plan.selected)].Comparable();
 }
 BENCHMARK(BM_DryRunPlanner)->Unit(benchmark::kMillisecond);
+
+// --- telemetry overhead ----------------------------------------------------
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v < 1.0 ? v * 1.001 : 1e-6;  // sweep buckets, stay in range
+  }
+  benchmark::DoNotOptimize(h.Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TelemetryRecord(benchmark::State& state) {
+  obs::TimeSeries& ts = obs::Telemetry::Global().series("bench.record", 1e-3);
+  double t = 0.0;
+  for (auto _ : state) {
+    ts.Record(t, 1.5e-4);
+    t += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryRecord);
+
+/// One GDP training epoch with trainer telemetry off (/0) and on (/1). The
+/// on-case also runs a telemetry-off epoch and records the simulated-seconds
+/// difference: telemetry must never advance the virtual clocks, so the
+/// baseline pins sim_telemetry_overhead_s at EXACTLY zero and the perf gate
+/// fails on any nonzero value (rel against a 0 baseline is unbounded). The
+/// wall-clock overhead is the ratio of the two time_ns rows (<1%,
+/// EXPERIMENTS.md).
+void BM_GdpEpochTelemetry(benchmark::State& state) {
+  static const Dataset ds = MakeDataset(PsLikeParams(0.05));
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  ModelConfig model;
+  model.kind = ModelKind::kSage;
+  model.num_layers = 2;
+  model.hidden_dim = 16;
+  model.input_dim = ds.feature_dim();
+  model.num_classes = ds.num_classes;
+  EngineOptions opts;
+  opts.fanouts = {5, 5};
+  opts.batch_size_per_device = 64;
+  opts.cache_bytes_per_device = ds.FeatureBytes() / 12;
+  MultilevelPartitioner ml;
+  const std::vector<PartId> partition = ml.Partition(ds.graph, 4);
+  SetLogLevel(LogLevel::kWarn);
+  const PlanReport plan = MakePlan(ds, cluster, partition, opts, model);
+  const auto run_epoch = [&](double window_s) {
+    EngineOptions o = opts;
+    o.telemetry_window_s = window_s;
+    TrainerSetup setup = BuildTrainerSetup(cluster, model, o, partition,
+                                           plan.dryrun, Strategy::kGDP);
+    ParallelTrainer trainer(ds, std::move(setup));
+    return trainer.TrainEpoch(0).sim_seconds;
+  };
+  const bool telemetry_on = state.range(0) != 0;
+  double sim_s = 0.0;
+  for (auto _ : state) {
+    sim_s = run_epoch(telemetry_on ? 1e-3 : 0.0);
+    benchmark::DoNotOptimize(sim_s);
+  }
+  if (telemetry_on) {
+    state.counters["sim_telemetry_overhead_s"] = sim_s - run_epoch(0.0);
+  }
+}
+BENCHMARK(BM_GdpEpochTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace apt

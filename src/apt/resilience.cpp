@@ -5,8 +5,28 @@
 #include "core/logging.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace apt {
+
+namespace {
+
+// Watchdog rules for a runner that configured none: per-device busy time in
+// any telemetry window must stay under 1.5x the mean across devices. This is
+// the pure straggler signal — barrier waits equalize the raw clocks, so only
+// busy (non-comm) time separates a drifted device from its peers.
+std::vector<obs::SloRule> DefaultSloRules() {
+  obs::SloRule skew;
+  skew.name = "device_busy_skew";
+  skew.series = "train.device.busy_s";
+  skew.stat = obs::SloStat::kSkew;
+  skew.cmp = obs::SloCmp::kLt;
+  skew.bound = 1.5;
+  skew.min_count = 2;  // skew is meaningless with fewer than 2 samples
+  return {skew};
+}
+
+}  // namespace
 
 ResilientRunner::ResilientRunner(AptSystem& system, ResilienceOptions opts)
     : system_(&system), opts_(std::move(opts)) {}
@@ -20,12 +40,30 @@ ResilienceReport ResilientRunner::Run(int epochs) {
   trainer_->sim().InstallFaults(opts_.faults);
   faults_seen_ = 0;
 
+  // The watchdog reads the trainer's telemetry windows (busy skew by
+  // default) and forces a re-plan evaluation even when no fault or timeout
+  // has been observed — the "silent straggler" path. Window closure is
+  // evaluated here, between epochs on one thread, so firing is
+  // deterministic for a fixed fault seed.
+  obs::SloWatchdog watchdog(opts_.slo_rules.empty() ? DefaultSloRules()
+                                                   : opts_.slo_rules);
+  bool slo_fired = false;
+  watchdog.set_callback([&slo_fired](const obs::SloViolation&) {
+    slo_fired = true;
+    obs::Metrics::Global().counter("replan.slo_trigger").Increment();
+  });
+
   ResilienceReport report;
   report.epochs.reserve(static_cast<std::size_t>(epochs));
   for (int e = 0; e < epochs; ++e) {
     report.strategy_per_epoch.push_back(current_);
     report.epochs.push_back(trainer_->TrainEpoch(e));
-    if (opts_.replan_on_degradation && e + 1 < epochs) MaybeReplan(report);
+    if (e + 1 >= epochs) break;
+    slo_fired = false;
+    if (opts_.replan_on_slo) watchdog.Evaluate(trainer_->sim().MaxNow());
+    if (opts_.replan_on_degradation || slo_fired) {
+      MaybeReplan(report, /*force=*/slo_fired);
+    }
   }
   const RecoveryStats& rs = trainer_->recovery_stats();
   report.recovery.collective_failures += rs.collective_failures;
@@ -36,14 +74,14 @@ ResilienceReport ResilientRunner::Run(int epochs) {
   return report;
 }
 
-void ResilientRunner::MaybeReplan(ResilienceReport& report) {
+void ResilientRunner::MaybeReplan(ResilienceReport& report, bool force) {
   SimContext& sim = trainer_->sim();
   const double now = sim.MaxNow();
   // Only reconsider when something actually degraded this epoch: a fault
-  // was newly observed, a step timed out, or the plan says a fault window
-  // covers the current simulated time.
+  // was newly observed, a step timed out, the plan says a fault window
+  // covers the current simulated time — or the SLO watchdog forced us.
   const std::int64_t seen = sim.FaultsObserved();
-  const bool active = seen > faults_seen_ ||
+  const bool active = force || seen > faults_seen_ ||
                       trainer_->recovery_stats().step_timeouts > 0 ||
                       opts_.faults.AnyDegradationAt(now);
   faults_seen_ = seen;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "apt/apt_system.h"
+#include "obs/slo.h"
 #include "sim/fault.h"
 
 namespace apt {
@@ -39,6 +40,15 @@ struct ResilienceOptions {
   /// Swap strategies only when the re-estimate predicts at least this
   /// relative improvement over staying put (hysteresis against thrash).
   double min_replan_improvement = 0.05;
+  /// Evaluate SLO rules against the trainer's telemetry windows at every
+  /// epoch boundary; a fired violation FORCES a re-plan evaluation even when
+  /// no fault/timeout signal has been observed — how a silent straggler
+  /// (drifted hardware, no injected fault event) still triggers adaptation.
+  bool replan_on_slo = true;
+  /// Rules the runner's watchdog evaluates. Empty: one default rule,
+  /// "train.device.busy_s skew < 1.5" — per-device busy skew within a
+  /// window must stay under 1.5x the mean.
+  std::vector<obs::SloRule> slo_rules;
 };
 
 struct ResilienceReport {
@@ -65,7 +75,9 @@ class ResilientRunner {
 
  private:
   /// Measures post-fault speeds and re-selects; swaps trainers on a win.
-  void MaybeReplan(ResilienceReport& report);
+  /// `force` skips the fault/timeout degradation check — used when the SLO
+  /// watchdog has already decided the run is degraded (straggler drift).
+  void MaybeReplan(ResilienceReport& report, bool force = false);
 
   AptSystem* system_;
   ResilienceOptions opts_;

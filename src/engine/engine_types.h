@@ -76,6 +76,12 @@ struct EngineOptions {
   /// (bitmap + packed nonzeros); lossy codecs here change BYTES only, never
   /// gradient values (documented modeling deviation, DESIGN.md).
   Codec grad_codec = Codec::kIdentity;
+  /// Width of the online telemetry windows (obs/telemetry.h) the trainer
+  /// records step / per-stage / per-device-busy series into, in SIMULATED
+  /// seconds. <= 0 disables trainer telemetry. Telemetry never advances the
+  /// virtual clocks: simulated results are bit-identical either way (the
+  /// overhead bench gates this at exactly zero).
+  double telemetry_window_s = 1e-3;
 
   /// Default assignment rule for a strategy (tests may override to compare
   /// strategies on identical mini-batches).

@@ -6,6 +6,7 @@
 #include "engine/exec_common.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "sampling/neighbor_sampler.h"
 #include "tensor/ops.h"
@@ -13,6 +14,49 @@
 namespace apt {
 
 namespace {
+
+/// Telemetry series the trainer feeds, resolved once per epoch (handles are
+/// stable; the lookup mutex stays off the step path). Null when disabled.
+struct StepTelemetry {
+  obs::TimeSeries* epoch = nullptr;     ///< epoch wall duration
+  obs::TimeSeries* step = nullptr;      ///< step wall duration
+  obs::TimeSeries* sample = nullptr;    ///< per-step sample-phase delta
+  obs::TimeSeries* gather = nullptr;    ///< per-step load-phase delta
+  obs::TimeSeries* shuffle = nullptr;   ///< sample-phase comm delta
+  obs::TimeSeries* compute = nullptr;   ///< train-phase non-comm delta
+  obs::TimeSeries* sync = nullptr;      ///< train-phase comm delta
+  obs::TimeSeries* dev_busy = nullptr;  ///< per-device non-comm busy delta
+
+  static StepTelemetry Resolve(double window_s) {
+    StepTelemetry t;
+    if (window_s <= 0.0 || !obs::Telemetry::Enabled()) return t;
+    auto& reg = obs::Telemetry::Global();
+    t.epoch = &reg.series("train.epoch.s", window_s);
+    t.step = &reg.series("train.step.s", window_s);
+    t.sample = &reg.series("train.stage.sample.s", window_s);
+    t.gather = &reg.series("train.stage.gather.s", window_s);
+    t.shuffle = &reg.series("train.stage.shuffle.s", window_s);
+    t.compute = &reg.series("train.stage.compute.s", window_s);
+    t.sync = &reg.series("train.stage.sync.s", window_s);
+    t.dev_busy = &reg.series("train.device.busy_s", window_s);
+    return t;
+  }
+
+  bool on() const { return step != nullptr; }
+};
+
+/// Sum over phases of this device's non-communication busy time: the
+/// quantity whose cross-device skew exposes a straggler (barrier waits
+/// equalize the raw clocks, comm time hides in the wait accounting — pure
+/// compute/sampling busy time does neither).
+double DeviceBusy(const SimContext& sim, DeviceId dev) {
+  double busy = 0.0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    busy += sim.PhaseOf(dev, phase) - sim.CommOf(dev, phase);
+  }
+  return busy;
+}
 
 /// Comparable time so far (phase maxima, same convention as
 /// CostEstimate::Comparable): sample + load + train-phase communication.
@@ -115,10 +159,29 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
       steps > 0 ? setup_.predicted_comparable_seconds / static_cast<double>(steps)
                 : 0.0;
   double residual_abs_sum = 0.0, residual_abs_max = 0.0;
+  // Online telemetry: windowed series on the virtual clock. Recording never
+  // advances a clock, so simulated results are bit-identical with telemetry
+  // on or off.
+  const StepTelemetry telem =
+      StepTelemetry::Resolve(setup_.engine.telemetry_window_s);
+  std::vector<double> dev_busy0(
+      telem.on() ? static_cast<std::size_t>(sim_->num_devices()) : 0, 0.0);
   Rng epoch_rng = Rng(setup_.engine.sample_seed).Fork(static_cast<std::uint64_t>(epoch));
   for (std::int64_t step = 0; step < steps; ++step) {
     APT_OBS_SCOPE("step", "engine", {{"step", static_cast<double>(step), nullptr}});
     const double step_comparable0 = ComparableNow(*sim_, setup_.engine.pipeline_depth);
+    double s_sample0 = 0.0, s_load0 = 0.0, s_train0 = 0.0;
+    double s_comm_sample0 = 0.0, s_comm_train0 = 0.0;
+    if (telem.on()) {
+      s_sample0 = sim_->PhaseMax(Phase::kSample);
+      s_load0 = sim_->PhaseMax(Phase::kLoad);
+      s_train0 = sim_->PhaseMax(Phase::kTrain);
+      s_comm_sample0 = sim_->CommMax(Phase::kSample);
+      s_comm_train0 = sim_->CommMax(Phase::kTrain);
+      for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
+        dev_busy0[static_cast<std::size_t>(d)] = DeviceBusy(*sim_, d);
+      }
+    }
     std::vector<std::vector<NodeId>> per_device;
     if (partitioned) {
       per_device.resize(queues.size());
@@ -212,6 +275,24 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     }
     obs::Flight().Record("step", ToString(setup_.engine.strategy), sim_->MaxNow(),
                          {{"step", static_cast<double>(step), nullptr}});
+    if (telem.on()) {
+      // All of a step's samples land at the step's END time: the per-stage
+      // deltas are only known once the step completes, and co-locating them
+      // keeps a window's stage breakdown consistent with its step count.
+      const double now = sim_->MaxNow();
+      telem.step->Record(now, now - step_wall0);
+      telem.sample->Record(now, sim_->PhaseMax(Phase::kSample) - s_sample0);
+      telem.gather->Record(now, sim_->PhaseMax(Phase::kLoad) - s_load0);
+      telem.shuffle->Record(now, sim_->CommMax(Phase::kSample) - s_comm_sample0);
+      const double sync_s = sim_->CommMax(Phase::kTrain) - s_comm_train0;
+      telem.sync->Record(now, sync_s);
+      telem.compute->Record(now,
+                            sim_->PhaseMax(Phase::kTrain) - s_train0 - sync_s);
+      for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
+        telem.dev_busy->Record(
+            now, DeviceBusy(*sim_, d) - dev_busy0[static_cast<std::size_t>(d)]);
+      }
+    }
     loss += s.loss;
     correct += s.correct;
     seeds_done += s.num_seeds;
@@ -246,6 +327,7 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   }
   obs::Flight().Record("epoch", ToString(setup_.engine.strategy), sim_->MaxNow(),
                        {{"epoch", static_cast<double>(epoch), nullptr}});
+  if (telem.on()) telem.epoch->Record(sim_->MaxNow(), stats.wall_seconds);
 
   auto& metrics = obs::Metrics::Global();
   metrics.counter("trainer.epochs").Increment();

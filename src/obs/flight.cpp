@@ -6,6 +6,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace apt::obs {
 
@@ -100,6 +101,39 @@ void FlightRecorder::WriteJson(std::ostream& os, const std::string& reason) cons
     w.EndObject();
   }
   w.EndArray();
+  // Performance lead-up: the last few telemetry windows of every series, so
+  // a giveup dump shows HOW the run was doing before the event rings' story
+  // starts — not just what fired.
+  constexpr std::size_t kTelemetryWindows = 8;
+  w.Key("telemetry");
+  w.BeginObject();
+  for (const TimeSeries* ts : Telemetry::Global().AllSeries()) {
+    const std::vector<WindowStats> windows = ts->AllWindows();
+    if (windows.empty()) continue;
+    w.Key(ts->name());
+    w.BeginArray();
+    const std::size_t first =
+        windows.size() > kTelemetryWindows ? windows.size() - kTelemetryWindows
+                                           : 0;
+    for (std::size_t i = first; i < windows.size(); ++i) {
+      const WindowStats& win = windows[i];
+      w.BeginObject();
+      w.KV("window", win.window);
+      w.KV("t0_s", win.t0_s);
+      w.KV("t1_s", win.t1_s);
+      w.KV("count", win.count);
+      w.KV("sum", win.sum);
+      w.KV("min", win.min);
+      w.KV("max", win.max);
+      w.KV("mean", win.Mean());
+      w.KV("p50", win.p50);
+      w.KV("p95", win.p95);
+      w.KV("p99", win.p99);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
   w.EndObject();
   os << "\n";
 }

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace apt::obs {
 
 class Counter {
@@ -50,23 +52,29 @@ class Metrics {
   /// Process-wide registry (leaked singleton).
   static Metrics& Global();
 
-  /// Returns the counter/gauge named `name`, creating it on first use.
-  /// The returned reference stays valid for the process lifetime.
+  /// Returns the counter/gauge/histogram named `name`, creating it on first
+  /// use. The returned reference stays valid for the process lifetime.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  /// Streaming distribution metric (obs/histogram.h): quantiles available
+  /// in-process without trace analysis, e.g. serve.latency_s.
+  Histogram& histogram(const std::string& name);
 
   /// Zeroes every registered metric (names stay registered).
   void ResetAll();
 
-  /// Test-fixture hook: zeroes the global registry so counter assertions are
+  /// Test-fixture hook: zeroes the global registry — counters, gauges,
+  /// histograms, AND the telemetry time-series registry — so assertions are
   /// absolute instead of delta-based, making suites order-independent (the
-  /// registry is process-global, so tests otherwise observe each other's
+  /// registries are process-global, so tests otherwise observe each other's
   /// increments). Greppable name: production code must never call it.
-  static void ResetForTest() { Global().ResetAll(); }
+  static void ResetForTest();
 
   /// Sorted snapshots (copy; safe against concurrent updates).
   std::vector<std::pair<std::string, std::int64_t>> CounterSnapshot() const;
   std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+  /// Name-sorted histogram refs (pointers stable; contents live).
+  std::vector<std::pair<std::string, const Histogram*>> HistogramRefs() const;
 
   /// {"schema_version": ..., "meta": {...}, "counters": {...}, "gauges": ...}
   void WriteJson(std::ostream& os) const;
@@ -82,6 +90,7 @@ class Metrics {
   mutable std::mutex mu_;  ///< guards the maps (not the atomics)
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace apt::obs

@@ -1,0 +1,99 @@
+// Declarative SLO rules evaluated online against the telemetry windows.
+//
+// A rule names a telemetry series, a windowed statistic, a comparison, and a
+// bound — "serve.latency_s p99 < 2ms", "train.device.busy_s skew < 1.5" —
+// plus robustness knobs: windows with fewer than `min_count` samples are
+// skipped (tail windows lie), and a violation only FIRES after
+// `sustain_windows` consecutive violating windows (transients don't).
+//
+// The SloWatchdog owns a set of rules and per-rule cursors. Evaluate(now_s)
+// walks every closed window the rule has not seen yet, in window order, and
+// on each fired violation bumps the slo.* metrics, emits a real-domain
+// "slo" trace event and a flight-recorder event, and invokes the callback —
+// the hook ResilientRunner uses to force a re-plan evaluation and the
+// serving engine uses to tighten admission control. Evaluation must happen
+// at single-threaded deterministic points (see obs/telemetry.h): the
+// watchdog itself takes no locks beyond the series snapshots.
+//
+// ParseSloRule understands the textual form, shared by `aptperf slo` and
+// in-process configuration:
+//   <series> <stat> <cmp> <bound>[unit]
+//   stat: p50 | p95 | p99 | mean | min | max | count | skew
+//   cmp:  < | >        (the rule states what SHOULD hold)
+//   unit: s | ms | us | ns (seconds multipliers; bare number = raw units)
+// "skew" is max/mean within the window — the per-device straggle ratio when
+// every device records its busy time into one series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace apt::obs {
+
+enum class SloStat { kP50, kP95, kP99, kMean, kMin, kMax, kCount, kSkew };
+enum class SloCmp { kLt, kGt };
+
+const char* ToString(SloStat stat);
+const char* ToString(SloCmp cmp);
+
+struct SloRule {
+  std::string name;    ///< for reporting; defaults to the parsed text
+  std::string series;  ///< telemetry series the rule watches
+  SloStat stat = SloStat::kP99;
+  SloCmp cmp = SloCmp::kLt;  ///< the HEALTHY relation (violation = negation)
+  double bound = 0.0;
+  std::int64_t min_count = 1;  ///< skip windows with fewer samples
+  int sustain_windows = 1;     ///< consecutive violating windows to fire
+};
+
+/// The statistic a rule evaluates, computed from one window snapshot.
+double SloStatOf(const WindowStats& window, SloStat stat);
+
+/// Parses the textual rule form above. On failure returns false and, when
+/// `error` is non-null, a one-line description.
+bool ParseSloRule(const std::string& text, SloRule* out,
+                  std::string* error = nullptr);
+
+struct SloViolation {
+  const SloRule* rule = nullptr;  ///< owned by the watchdog
+  WindowStats window;             ///< the window that fired
+  double value = 0.0;             ///< observed statistic
+  int streak = 0;                 ///< consecutive violating windows so far
+};
+
+class SloWatchdog {
+ public:
+  using Callback = std::function<void(const SloViolation&)>;
+
+  explicit SloWatchdog(std::vector<SloRule> rules);
+
+  /// Invoked on every FIRED violation (after metrics/trace/flight emission).
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  /// Evaluates every rule over its unseen closed windows at simulated time
+  /// `now_s`. Returns the number of violations fired by this call. Must be
+  /// called from deterministic single-threaded points; cheap when nothing
+  /// new closed.
+  int Evaluate(double now_s);
+
+  /// Violations fired over the watchdog's lifetime.
+  std::int64_t violations_total() const { return violations_total_; }
+  std::vector<SloRule> rules() const;
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    std::int64_t last_window = -1;  ///< newest window already evaluated
+    int streak = 0;                 ///< current consecutive violations
+  };
+
+  std::vector<RuleState> rules_;
+  Callback callback_;
+  std::int64_t violations_total_ = 0;
+};
+
+}  // namespace apt::obs

@@ -223,6 +223,7 @@ double ServeEngine::ExecuteBatch(DeviceId dev, const PlannedBatch& batch,
                      {{"rows", rows_arg}, {"service_s", service_s}});
   }
 
+  obs::Histogram& latency_hist = obs::Metrics::Global().histogram("serve.latency_s");
   for (std::size_t r = 0; r < batch.requests.size(); ++r) {
     const Request& req = batch.requests[r];
     Response resp;
@@ -233,6 +234,10 @@ double ServeEngine::ExecuteBatch(DeviceId dev, const PlannedBatch& batch,
     resp.latency_s = done_s - req.arrival_s;
     resp.batch_rows = rows;
     resp.worker = dev;
+    latency_hist.Record(resp.latency_s);
+    if (telem_latency_ != nullptr) {
+      telem_latency_->Record(done_s, resp.latency_s);
+    }
     if (opts_.collect_logits) {
       const std::int64_t lo = merged.seed_offsets[r];
       const std::int64_t hi = lo + merged.seed_counts[r];
@@ -249,6 +254,37 @@ double ServeEngine::ExecuteBatch(DeviceId dev, const PlannedBatch& batch,
 
 ServeReport ServeEngine::Run(std::span<const Request> arrivals) {
   const std::int32_t workers = num_workers();
+
+  // Online telemetry: latencies land at done_s (from worker threads inside
+  // ExecuteBatch), batch occupancies at close_s (here, single-threaded),
+  // shed rejections at arrival_s (report assembly).
+  telem_latency_ = nullptr;
+  obs::TimeSeries* telem_rows = nullptr;
+  obs::TimeSeries* telem_shed = nullptr;
+  if (opts_.telemetry_window_s > 0.0 && obs::Telemetry::Enabled()) {
+    auto& telemetry = obs::Telemetry::Global();
+    telem_latency_ = &telemetry.series("serve.latency_s", opts_.telemetry_window_s);
+    telem_rows = &telemetry.series("serve.batch.rows", opts_.telemetry_window_s);
+    telem_shed = &telemetry.series("serve.shed", opts_.telemetry_window_s);
+  }
+
+  // Admission control reads `policy.queue_bound` per arrival through the
+  // const ref, so the watchdog's tightening below takes effect on every
+  // subsequent admission decision of THIS plan.
+  BatchPolicy policy = opts_.batch;
+  const bool slo_on = telem_latency_ != nullptr && !opts_.slo_rules.empty();
+  obs::SloWatchdog watchdog(opts_.slo_rules);
+  watchdog.set_callback([this, &policy](const obs::SloViolation&) {
+    const std::int64_t next = std::max<std::int64_t>(
+        opts_.slo_queue_bound_floor,
+        static_cast<std::int64_t>(static_cast<double>(policy.queue_bound) *
+                                  opts_.slo_queue_tighten_factor));
+    if (next >= policy.queue_bound) return;
+    policy.queue_bound = next;
+    auto& m = obs::Metrics::Global();
+    m.counter("serve.slo.queue_bound_tightened").Increment();
+    m.gauge("serve.queue_bound").Set(static_cast<double>(next));
+  });
 
   // Execution interleaves with batching in round-robin WAVES: batch i goes
   // to worker i % W, and once W batches have closed the whole wave executes
@@ -282,6 +318,9 @@ ServeReport ServeEngine::Run(std::span<const Request> arrivals) {
             // after the cluster poisoned gets a typed rejection at its
             // batch's close time.
             for (const Request& r : slot.batch.requests) {
+              if (telem_shed != nullptr) {
+                telem_shed->Record(slot.batch.close_s, 1.0);
+              }
               out.push_back(
                   MakeShedResponse(r, ShedReason::kPoisoned, slot.batch.close_s));
             }
@@ -298,21 +337,42 @@ ServeReport ServeEngine::Run(std::span<const Request> arrivals) {
   const DispatchFn dispatch = [&](const PlannedBatch& batch) -> double {
     const std::size_t w = wave.size();
     const double start_s = std::max(batch.close_s, busy[w]);
+    if (telem_rows != nullptr) {
+      telem_rows->Record(batch.close_s,
+                         static_cast<double>(batch.requests.size()));
+    }
     wave.push_back({batch, start_s});
-    if (wave.size() == static_cast<std::size_t>(workers)) execute_wave();
+    if (wave.size() == static_cast<std::size_t>(workers)) {
+      execute_wave();
+      // Deterministic watchdog point: the wave has fully executed (join
+      // above) and close times are monotone, so every window before
+      // WindowOf(close_s) is final — later batches complete at
+      // done_s >= their close_s >= this close_s and can only land in
+      // windows the cursor has not passed yet.
+      if (slo_on) watchdog.Evaluate(batch.close_s);
+    }
     return start_s;
   };
 
-  const BatchPlan plan = PlanBatches(arrivals, opts_.batch, dispatch);
+  const BatchPlan plan = PlanBatches(arrivals, policy, dispatch);
   execute_wave();  // final partial wave
 
   ServeReport report;
   report.offered = static_cast<std::int64_t>(arrivals.size());
   report.responses.reserve(arrivals.size());
   for (const Request& r : plan.shed) {
+    if (telem_shed != nullptr) telem_shed->Record(r.arrival_s, 1.0);
     report.responses.push_back(
         MakeShedResponse(r, ShedReason::kQueueFull, r.arrival_s));
   }
+  if (slo_on) {
+    // Close out the tail: one final evaluation strictly past the last
+    // completion so the last windows with data become visible.
+    double end_s = 0.0;
+    for (const double b : busy) end_s = std::max(end_s, b);
+    watchdog.Evaluate(end_s + opts_.telemetry_window_s);
+  }
+  telem_latency_ = nullptr;
   for (auto& worker_responses : per_worker) {
     for (Response& resp : worker_responses) {
       report.responses.push_back(std::move(resp));

@@ -30,6 +30,8 @@
 #include "feature/feature_store.h"
 #include "graph/dataset.h"
 #include "model/gnn_model.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "sampling/neighbor_sampler.h"
 #include "serve/batcher.h"
 #include "serve/request.h"
@@ -54,6 +56,21 @@ struct ServeOptions {
   std::uint64_t sample_seed = 7;
   /// Keep per-response logits (tests/parity); off saves memory in benches.
   bool collect_logits = true;
+  /// Width of the online telemetry windows (obs/telemetry.h) the engine
+  /// records serve.latency_s / serve.batch.rows / serve.shed into, in
+  /// SIMULATED seconds. <= 0 disables serve telemetry. Like the trainer's,
+  /// recording never touches the virtual clocks.
+  double telemetry_window_s = 2e-3;
+  /// SLO rules the engine's watchdog evaluates at batch-close boundaries
+  /// (e.g. "serve.latency_s p99 < 2ms"). Empty disables the watchdog —
+  /// zero behavior change from pre-SLO serving. A sustained violation
+  /// tightens admission control: queue_bound is multiplied by
+  /// `slo_queue_tighten_factor` (never below `slo_queue_bound_floor`), so
+  /// the engine sheds earlier and the latency of ADMITTED requests recovers
+  /// — trading availability for the latency SLO.
+  std::vector<obs::SloRule> slo_rules;
+  double slo_queue_tighten_factor = 0.5;
+  std::int64_t slo_queue_bound_floor = 8;
 };
 
 /// Aggregate results of one Run (latencies in simulated seconds).
@@ -122,6 +139,10 @@ class ServeEngine {
   std::unique_ptr<NeighborSampler> sampler_;
   std::vector<std::unique_ptr<GnnModel>> models_;  ///< one frozen replica per worker
   std::vector<PartId> partition_;
+  /// Per-Run latency series (null = telemetry off). Set by Run, recorded
+  /// from ExecuteBatch on worker threads (TimeSeries::Record is
+  /// thread-safe and order-independent).
+  obs::TimeSeries* telem_latency_ = nullptr;
 };
 
 }  // namespace apt::serve

@@ -514,5 +514,66 @@ TEST(ChaosTest, ResilientRunnerSurvivesAndReplans) {
   EXPECT_DOUBLE_EQ(report.final_sim_seconds, report2.final_sim_seconds);
 }
 
+TEST(ChaosTest, SloWatchdogTriggersReplanWithoutFaultSignal) {
+  // A silent straggler: device 0 runs 3x slow but nothing ERRORS — no
+  // collective failure, no retry, no step timeout — so the fault-signal
+  // re-plan path is blind (and disabled below to prove it). The runner's
+  // SLO watchdog must still see the drift in the windowed per-device
+  // busy-skew telemetry and force a re-plan evaluation, bit-reproducibly.
+  const Dataset ds = SmallDataset();
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  ModelConfig model;
+  model.kind = ModelKind::kSage;
+  model.num_layers = 2;
+  model.hidden_dim = 16;
+  EngineOptions opts;
+  opts.fanouts = {3, 3};
+  opts.batch_size_per_device = 64;
+  opts.cache_bytes_per_device = 1 << 20;
+  // Steps are ~100us of simulated time at this scale; windows must be
+  // narrower than an epoch for skew to close mid-run.
+  opts.telemetry_window_s = 1e-4;
+
+  ResilienceOptions chaos;
+  // 8x: only the device-side share of busy time scales with the slowdown
+  // (host sampling does not), so 8x compute puts the windowed busy skew at
+  // ~2.1x — comfortably past the default 1.5x bound.
+  chaos.faults.stragglers.push_back(
+      {.device = 0, .start_s = 0.0, .end_s = 1e9, .slowdown = 8.0});
+  chaos.replan_on_degradation = false;  // ONLY the SLO path may re-plan
+  chaos.recovery.retry_collectives = true;
+  // chaos.slo_rules stays empty -> default busy-skew < 1.5x rule.
+
+  const auto run_once = [&]() {
+    obs::Metrics::ResetForTest();  // fresh telemetry windows + counters
+    AptSystem system(ds, cluster, model, opts);
+    ResilientRunner runner(system, chaos);
+    return runner.Run(3);
+  };
+
+  const ResilienceReport report = run_once();
+  ASSERT_EQ(report.epochs.size(), 3u);
+  EXPECT_GE(report.replans, 1);  // the watchdog forced an evaluation
+  EXPECT_GE(Counter("replan.slo_trigger"), 1);
+  EXPECT_GE(Counter("slo.violations"), 1);
+  // ...and it truly fired before any fault/timeout signal existed.
+  EXPECT_EQ(report.recovery.collective_failures, 0);
+  EXPECT_EQ(report.recovery.retries, 0);
+  EXPECT_EQ(report.recovery.step_timeouts, 0);
+
+  // Bit-reproducible under the fixed chaos seed: same windows close at the
+  // same virtual instants, same violations fire, same re-plan decisions.
+  const ResilienceReport report2 = run_once();
+  ASSERT_EQ(report2.epochs.size(), report.epochs.size());
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(report.epochs[e].loss, report2.epochs[e].loss);
+    EXPECT_DOUBLE_EQ(report.epochs[e].sim_seconds, report2.epochs[e].sim_seconds);
+    EXPECT_EQ(report.strategy_per_epoch[e], report2.strategy_per_epoch[e]);
+  }
+  EXPECT_EQ(report.replans, report2.replans);
+  EXPECT_EQ(report.switches, report2.switches);
+  EXPECT_DOUBLE_EQ(report.final_sim_seconds, report2.final_sim_seconds);
+}
+
 }  // namespace
 }  // namespace apt

@@ -22,6 +22,17 @@
 //   aptperf flight <flight.json>
 //       Pretty-prints a fault flight recording (most recent events last).
 //
+//   aptperf timeline <timeline.jsonl> [--series NAME]
+//       Renders a windowed telemetry timeline export (obs/telemetry.h
+//       WriteTimelineJsonl): per series, one row per closed window with
+//       count / mean / p50 / p95 / p99 / min / max.
+//
+//   aptperf slo <timeline.jsonl> --rule "SERIES STAT CMP BOUND[unit]" ...
+//       Evaluates declarative SLO rules (obs/slo.h textual form) offline
+//       against an exported timeline. Exit 0 when every rule holds over
+//       every qualifying window, 1 on any violation, 2 on usage/IO errors.
+//       This is the CI hook that holds serve_openloop to its latency SLO.
+//
 // All readers enforce the apt::obs schema header: files without a
 // schema_version, or with one newer than this build understands, are
 // rejected with a clear error instead of silently mis-parsed.
@@ -29,12 +40,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/analysis.h"
 #include "obs/json.h"
+#include "obs/slo.h"
 
 namespace {
 
@@ -53,13 +66,25 @@ int Usage() {
                "  aptperf gate --baseline FILE --current FILE [--current FILE ...]\n"
                "               [--tolerance REL] [--wall-tolerance REL] [--no-wall]\n"
                "  aptperf merge --out FILE <records.json> [<records.json> ...]\n"
-               "  aptperf flight <flight.json>\n");
+               "  aptperf flight <flight.json>\n"
+               "  aptperf timeline <timeline.jsonl> [--series NAME]\n"
+               "  aptperf slo <timeline.jsonl> --rule \"SERIES STAT CMP "
+               "BOUND[unit]\" [--rule ...]\n");
   return 2;
 }
 
 bool TakeValueFlag(const std::vector<std::string>& args, std::size_t* i,
                    const char* flag, std::string* out) {
-  if (args[*i] != flag) return false;
+  // Accept both `--flag VALUE` and `--flag=VALUE` (the bench binaries use
+  // the latter, so either muscle memory works here).
+  const std::string& arg = args[*i];
+  const std::size_t flag_len = std::string(flag).size();
+  if (arg.size() > flag_len && arg.compare(0, flag_len, flag) == 0 &&
+      arg[flag_len] == '=') {
+    *out = arg.substr(flag_len + 1);
+    return true;
+  }
+  if (arg != flag) return false;
   if (*i + 1 >= args.size()) {
     std::fprintf(stderr, "aptperf: %s needs a value\n", flag);
     std::exit(2);
@@ -317,6 +342,186 @@ int CmdFlight(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Loads a telemetry timeline JSONL export: schema-checked header line,
+/// then one window row per line, grouped per series in window order.
+bool LoadTimeline(const std::string& path,
+                  std::map<std::string, std::vector<apt::obs::WindowStats>>* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string parse_error;
+    if (!apt::obs::ParseJson(line, &v, &parse_error)) {
+      *error = path + ":" + std::to_string(lineno) + ": " + parse_error;
+      return false;
+    }
+    if (!saw_header) {
+      const JsonValue* version = v.Find("schema_version");
+      const JsonValue* meta = v.Find("meta");
+      const std::string* kind =
+          meta != nullptr ? meta->StrOrNull("kind") : nullptr;
+      if (version == nullptr || version->kind != JsonValue::kNumber ||
+          static_cast<std::int64_t>(version->num) > apt::obs::kObsSchemaVersion ||
+          kind == nullptr || *kind != "telemetry") {
+        *error = path + ": not a telemetry timeline (bad header line)";
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string* series = v.StrOrNull("series");
+    if (series == nullptr) continue;
+    apt::obs::WindowStats w;
+    w.window = static_cast<std::int64_t>(v.NumOr("window", -1.0));
+    w.t0_s = v.NumOr("t0_s", 0.0);
+    w.t1_s = v.NumOr("t1_s", 0.0);
+    w.count = static_cast<std::int64_t>(v.NumOr("count", 0.0));
+    w.sum = v.NumOr("sum", 0.0);
+    w.min = v.NumOr("min", 0.0);
+    w.max = v.NumOr("max", 0.0);
+    w.p50 = v.NumOr("p50", 0.0);
+    w.p95 = v.NumOr("p95", 0.0);
+    w.p99 = v.NumOr("p99", 0.0);
+    (*out)[*series].push_back(w);
+  }
+  if (!saw_header) {
+    *error = path + ": empty file (no header line)";
+    return false;
+  }
+  return true;
+}
+
+int CmdTimeline(const std::vector<std::string>& args) {
+  std::string path, series_filter;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (TakeValueFlag(args, &i, "--series", &series_filter)) continue;
+    if (path.empty()) {
+      path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+  std::map<std::string, std::vector<apt::obs::WindowStats>> timeline;
+  std::string error;
+  if (!LoadTimeline(path, &timeline, &error)) {
+    std::fprintf(stderr, "aptperf: %s\n", error.c_str());
+    return 2;
+  }
+  bool any = false;
+  for (const auto& [series, windows] : timeline) {
+    if (!series_filter.empty() && series != series_filter) continue;
+    any = true;
+    std::printf("%s  (%zu windows)\n", series.c_str(), windows.size());
+    std::printf("  %10s %12s %12s %8s %12s %12s %12s %12s %12s\n", "window",
+                "t0_s", "t1_s", "count", "mean", "p50", "p95", "p99", "max");
+    for (const apt::obs::WindowStats& w : windows) {
+      std::printf("  %10lld %12.6f %12.6f %8lld %12.6g %12.6g %12.6g %12.6g "
+                  "%12.6g\n",
+                  static_cast<long long>(w.window), w.t0_s, w.t1_s,
+                  static_cast<long long>(w.count), w.Mean(), w.p50, w.p95,
+                  w.p99, w.max);
+    }
+  }
+  if (!any && !series_filter.empty()) {
+    std::fprintf(stderr, "aptperf: %s has no series %s\n", path.c_str(),
+                 series_filter.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdSlo(const std::vector<std::string>& args) {
+  std::string path;
+  std::vector<apt::obs::SloRule> rules;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    if (TakeValueFlag(args, &i, "--rule", &value)) {
+      apt::obs::SloRule rule;
+      std::string error;
+      if (!apt::obs::ParseSloRule(value, &rule, &error)) {
+        std::fprintf(stderr, "aptperf: bad --rule \"%s\": %s\n", value.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      rules.push_back(std::move(rule));
+      continue;
+    }
+    if (path.empty()) {
+      path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty() || rules.empty()) return Usage();
+  std::map<std::string, std::vector<apt::obs::WindowStats>> timeline;
+  std::string error;
+  if (!LoadTimeline(path, &timeline, &error)) {
+    std::fprintf(stderr, "aptperf: %s\n", error.c_str());
+    return 2;
+  }
+  // Same firing semantics as the in-process watchdog (obs/slo.h): windows
+  // under min_count are skipped, and a violation only fires after
+  // sustain_windows consecutive violating windows.
+  int violations = 0;
+  for (const apt::obs::SloRule& rule : rules) {
+    const auto it = timeline.find(rule.series);
+    if (it == timeline.end()) {
+      std::printf("%-40s  no windows for series %s — SKIP\n",
+                  rule.name.c_str(), rule.series.c_str());
+      continue;
+    }
+    int streak = 0, fired = 0;
+    std::int64_t evaluated = 0;
+    double worst = 0.0;
+    std::int64_t worst_window = -1;
+    for (const apt::obs::WindowStats& w : it->second) {
+      if (w.count < rule.min_count) continue;
+      ++evaluated;
+      const double value = apt::obs::SloStatOf(w, rule.stat);
+      const bool healthy = rule.cmp == apt::obs::SloCmp::kLt
+                               ? value < rule.bound
+                               : value > rule.bound;
+      if (healthy) {
+        streak = 0;
+        continue;
+      }
+      ++streak;
+      if (streak >= rule.sustain_windows) {
+        ++fired;
+        if (worst_window < 0 ||
+            (rule.cmp == apt::obs::SloCmp::kLt ? value > worst
+                                               : value < worst)) {
+          worst = value;
+          worst_window = w.window;
+        }
+      }
+    }
+    if (fired == 0) {
+      std::printf("%-40s  OK over %lld windows\n", rule.name.c_str(),
+                  static_cast<long long>(evaluated));
+    } else {
+      violations += fired;
+      std::printf("%-40s  VIOLATED in %d of %lld windows (worst %s=%g %s %g "
+                  "at window %lld)\n",
+                  rule.name.c_str(), fired, static_cast<long long>(evaluated),
+                  apt::obs::ToString(rule.stat), worst,
+                  rule.cmp == apt::obs::SloCmp::kLt ? ">=" : "<=", rule.bound,
+                  static_cast<long long>(worst_window));
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,5 +534,7 @@ int main(int argc, char** argv) {
   if (cmd == "gate") return CmdGate(args);
   if (cmd == "merge") return CmdMerge(args);
   if (cmd == "flight") return CmdFlight(args);
+  if (cmd == "timeline") return CmdTimeline(args);
+  if (cmd == "slo") return CmdSlo(args);
   return Usage();
 }
