@@ -90,7 +90,13 @@ void PrintCaseRow(const CaseResult& result);
 ///   --telemetry-out=<file> windowed telemetry timeline JSONL on finish
 ///                          (feed to `aptperf timeline` / `aptperf slo`)
 ///   --prom-out=<file>     Prometheus-style text snapshot on finish
+///   --scale-mode          run with SimOptions::scale_mode = kScale (sampled
+///                         execution + analytic fast-forward collectives);
+///                         PaperDefaults() picks it up, records are flagged
 void BenchInit(const std::string& name, int* argc = nullptr, char** argv = nullptr);
+
+/// True when --scale-mode was passed to BenchInit (stripped from argv).
+bool ScaleModeRequested();
 
 /// Appends one pre-serialized JSON object to the run's records.
 void AddRecord(std::string json_object);

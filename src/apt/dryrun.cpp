@@ -128,7 +128,9 @@ DryRunResult DryRun(const Dataset& dataset, const ClusterSpec& cluster,
   const std::int64_t d = dataset.feature_dim();
   const std::int64_t d1 = Layer0OutDim(model);
   const bool gat = model.kind == ModelKind::kGat;
-  res.profile = ProfileCommunication(cluster);
+  res.profile = opts.sim.scale_mode == ScaleMode::kScale
+                    ? ProfileCommunicationAnalytic(cluster)
+                    : ProfileCommunication(cluster);
   // Parameter-carrying probe for the compute half of the overlap-aware cost
   // model (flop counting only; nothing is ever run through it).
   const GnnModel probe(model);

@@ -6,6 +6,7 @@
 
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace apt {
@@ -217,7 +218,27 @@ void Communicator::MaybeFailCollective(std::int64_t wire_bytes,
 void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& bytes,
                                   const std::vector<std::vector<std::int64_t>>& wire,
                                   Phase phase) {
+  if (ctx_->RecordingStep()) {
+    // One structured op on the step tape; the flat advances the Impl issues
+    // are suppressed so fast-forward re-runs the charge (fault thresholds,
+    // link degradation) instead of replaying stale numbers.
+    ctx_->RecordAllToAll(bytes, wire, phase);
+    SimContext::RecordSuppressScope suppress(*ctx_);
+    ChargeAllToAllImpl(bytes, wire, phase);
+    return;
+  }
+  ChargeAllToAllImpl(bytes, wire, phase);
+}
+
+void Communicator::ChargeAllToAllImpl(
+    const std::vector<std::vector<std::int64_t>>& bytes,
+    const std::vector<std::vector<std::int64_t>>& wire, Phase phase) {
   const auto c = static_cast<std::size_t>(num_devices());
+  // Scale mode batches the O(C^2) lane costing and the O(C) clock commits
+  // through the fork-join pool. Per-device results are bit-identical to the
+  // serial loop: each device's lane math keeps its serial FP order, and the
+  // cross-device totals are int64 sums (order-free).
+  const bool scale = ctx_->scale_mode() == ScaleMode::kScale && c >= 64;
   // Cost every lane up front at the PRE-collective clocks (link faults are
   // evaluated against the time the transfer starts), so a mid-call failure
   // can charge each participant the same completed fraction. Egress of i and
@@ -225,8 +246,18 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
   // larger of the two. Time moves WIRE (post-codec) bytes.
   std::vector<double> busy(c, 0.0);
   std::vector<std::int64_t> egress_bytes(c, 0), ingress_bytes(c, 0);
-  std::int64_t total_bytes = 0, total_wire = 0;
-  for (std::size_t i = 0; i < c; ++i) {
+  std::vector<std::int64_t> wire_part(c, 0);
+  constexpr std::size_t kCls = static_cast<std::size_t>(TrafficClass::kNumClasses);
+  // Per-sender per-class lane totals (scale mode only): the serial path
+  // counts each (i,j) lane individually; scale mode aggregates the same
+  // int64 sums and issues one CountTraffic per class.
+  std::vector<std::array<std::int64_t, kCls>> cls_bytes;
+  std::vector<std::array<std::int64_t, kCls>> cls_wire;
+  if (scale) {
+    cls_bytes.assign(c, {});
+    cls_wire.assign(c, {});
+  }
+  const auto cost_one = [&](std::size_t i) {
     double egress = 0.0, ingress = 0.0;
     // Codec compute: lanes whose wire representation differs from the
     // logical one pay one encode pass at the sender and one decode pass at
@@ -240,7 +271,7 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
       if (wire[i][j] > 0) {
         egress += ctx_->EffectiveLinkBetween(di, dj).TransferSeconds(wire[i][j]);
         egress_bytes[i] += bytes[i][j];
-        total_wire += wire[i][j];
+        wire_part[i] += wire[i][j];
         if (wire[i][j] != bytes[i][j]) xcode_bytes += bytes[i][j];
       }
       if (wire[j][i] > 0) {
@@ -248,11 +279,30 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
         ingress_bytes[i] += bytes[j][i];
         if (wire[j][i] != bytes[j][i]) xcode_bytes += bytes[j][i];
       }
+      if (scale && i != j && bytes[i][j] > 0) {
+        const auto cls = static_cast<std::size_t>(ctx_->ClassifyDeviceLink(di, dj));
+        cls_bytes[i][cls] += bytes[i][j];
+        cls_wire[i][cls] += wire[i][j];
+      }
     }
     busy[i] = std::max(egress, ingress) +
               static_cast<double>(xcode_bytes) /
                   ctx_->cluster().device(static_cast<DeviceId>(i)).mem_bandwidth_bytes_per_s;
+  };
+  if (scale) {
+    ParallelForChunks(0, static_cast<std::int64_t>(c),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          cost_one(static_cast<std::size_t>(i));
+                        }
+                      });
+  } else {
+    for (std::size_t i = 0; i < c; ++i) cost_one(i);
+  }
+  std::int64_t total_bytes = 0, total_wire = 0;
+  for (std::size_t i = 0; i < c; ++i) {
     total_bytes += egress_bytes[i];
+    total_wire += wire_part[i];
   }
   // Flight/failure attribution uses the coarse link class of the collective
   // as a whole (point-to-point pairs span classes; cross-machine dominates
@@ -262,19 +312,50 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
       ToString(ctx_->cluster().num_machines() > 1 ? TrafficClass::kCrossMachine
                                                   : TrafficClass::kPeerGpu);
   MaybeFailCollective(total_wire, busy, phase, "alltoall", a2a_class);
-  for (std::size_t i = 0; i < c; ++i) {
-    for (std::size_t j = 0; j < c; ++j) {
-      if (i != j && bytes[i][j] > 0) {
-        const auto di = static_cast<DeviceId>(i);
-        const auto dj = static_cast<DeviceId>(j);
-        ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j],
-                           wire[i][j]);
+  if (scale) {
+    // Same per-class int64 totals as the per-lane loop below; only the
+    // per-call event granularity (trace counter samples) coarsens.
+    for (std::size_t cls = 0; cls < kCls; ++cls) {
+      std::int64_t b = 0, w = 0;
+      for (std::size_t i = 0; i < c; ++i) {
+        b += cls_bytes[i][cls];
+        w += cls_wire[i][cls];
       }
+      if (b > 0) ctx_->CountTraffic(static_cast<TrafficClass>(cls), b, w);
     }
-    ctx_->AdvanceComm(static_cast<DeviceId>(i), busy[i], phase, "alltoall",
-                      {{"egress_bytes", static_cast<double>(egress_bytes[i]), nullptr},
-                       {"ingress_bytes", static_cast<double>(ingress_bytes[i]), nullptr},
-                       {"participants", static_cast<double>(c), nullptr}});
+    const auto advance_one = [&](std::size_t i) {
+      ctx_->AdvanceComm(static_cast<DeviceId>(i), busy[i], phase, "alltoall",
+                        {{"egress_bytes", static_cast<double>(egress_bytes[i]), nullptr},
+                         {"ingress_bytes", static_cast<double>(ingress_bytes[i]), nullptr},
+                         {"participants", static_cast<double>(c), nullptr}});
+    };
+    if (!ctx_->PipelineCapturing()) {
+      // Disjoint per-device clock writes; the pipeline-capture path appends
+      // to a shared tape, so it stays serial.
+      ParallelForChunks(0, static_cast<std::int64_t>(c),
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            advance_one(static_cast<std::size_t>(i));
+                          }
+                        });
+    } else {
+      for (std::size_t i = 0; i < c; ++i) advance_one(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < c; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        if (i != j && bytes[i][j] > 0) {
+          const auto di = static_cast<DeviceId>(i);
+          const auto dj = static_cast<DeviceId>(j);
+          ctx_->CountTraffic(ctx_->ClassifyDeviceLink(di, dj), bytes[i][j],
+                             wire[i][j]);
+        }
+      }
+      ctx_->AdvanceComm(static_cast<DeviceId>(i), busy[i], phase, "alltoall",
+                        {{"egress_bytes", static_cast<double>(egress_bytes[i]), nullptr},
+                         {"ingress_bytes", static_cast<double>(ingress_bytes[i]), nullptr},
+                         {"participants", static_cast<double>(c), nullptr}});
+    }
   }
   AllToAllMetrics().calls.Increment();
   AllToAllMetrics().bytes.Add(total_bytes);
@@ -290,6 +371,18 @@ void Communicator::ChargeAllToAll(const std::vector<std::vector<std::int64_t>>& 
 void Communicator::ChargeRing(std::int64_t total_bytes,
                               std::int64_t wire_total_bytes, double factor,
                               Phase phase, const char* label) {
+  if (ctx_->RecordingStep()) {
+    ctx_->RecordRing(total_bytes, wire_total_bytes, factor, phase, label);
+    SimContext::RecordSuppressScope suppress(*ctx_);
+    ChargeRingImpl(total_bytes, wire_total_bytes, factor, phase, label);
+    return;
+  }
+  ChargeRingImpl(total_bytes, wire_total_bytes, factor, phase, label);
+}
+
+void Communicator::ChargeRingImpl(std::int64_t total_bytes,
+                                  std::int64_t wire_total_bytes, double factor,
+                                  Phase phase, const char* label) {
   CollectiveMetrics& metrics = RingMetrics(label);
   metrics.calls.Increment();
   const std::int32_t c = num_devices();
@@ -321,11 +414,22 @@ void Communicator::ChargeRing(std::int64_t total_bytes,
                       std::vector<double>(static_cast<std::size_t>(c), t), phase,
                       label, cls);
   // Every device is busy for the whole ring schedule.
-  for (DeviceId d = 0; d < c; ++d) {
+  const auto advance_one = [&](DeviceId d) {
     ctx_->AdvanceComm(d, t, phase, label,
                       {{"bytes", static_cast<double>(total_bytes), nullptr},
                        {"participants", static_cast<double>(c), nullptr},
                        {"class", 0.0, cls}});
+  };
+  if (ctx_->scale_mode() == ScaleMode::kScale && c >= 64 &&
+      !ctx_->PipelineCapturing()) {
+    ParallelForChunks(0, static_cast<std::int64_t>(c),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t d = lo; d < hi; ++d) {
+                          advance_one(static_cast<DeviceId>(d));
+                        }
+                      });
+  } else {
+    for (DeviceId d = 0; d < c; ++d) advance_one(d);
   }
   metrics.bytes.Add(static_cast<std::int64_t>(volume));
   metrics.wire_bytes.Add(static_cast<std::int64_t>(wire_volume));
@@ -338,6 +442,105 @@ void Communicator::ChargeRing(std::int64_t total_bytes,
                         {"participants", static_cast<double>(c), nullptr},
                         {"class", 0.0, cls}});
   ctx_->BarrierAll(phase);
+}
+
+// --- analytic fast-forward collectives (scale mode) -------------------------
+
+void Communicator::AllToAllTensorShapes(
+    const std::vector<std::vector<TensorShape>>& parts, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(parts.size(), c);
+  std::vector<std::vector<std::int64_t>> bytes(c, std::vector<std::int64_t>(c, 0));
+  std::vector<std::vector<std::int64_t>> wire(c, std::vector<std::int64_t>(c, 0));
+  for (std::size_t i = 0; i < c; ++i) {
+    APT_CHECK_EQ(parts[i].size(), c);
+    for (std::size_t j = 0; j < c; ++j) {
+      const TensorShape& p = parts[i][j];
+      bytes[i][j] = p.bytes();
+      wire[i][j] =
+          i == j ? bytes[i][j]
+                 : CodecWireBytes(wire_codec(ctx_->ClassifyDeviceLink(
+                                      static_cast<DeviceId>(i),
+                                      static_cast<DeviceId>(j))),
+                                  p.rows, p.cols);
+    }
+  }
+  ChargeAllToAll(bytes, wire, phase);
+}
+
+void Communicator::AllToAllBytes(
+    const std::vector<std::vector<std::int64_t>>& bytes, Phase phase) {
+  APT_CHECK_EQ(bytes.size(), static_cast<std::size_t>(num_devices()));
+  ChargeAllToAll(bytes, phase);
+}
+
+void Communicator::AllReduceSumShape(std::int64_t rows, std::int64_t cols,
+                                     Phase phase, bool gradient_sync) {
+  if (num_devices() == 0) return;
+  const Codec codec = gradient_sync ? grad_codec_ : wire_codec(RingClass());
+  // Shape-based wire bytes: identical to the byte-moving path for identity /
+  // bf16 / int8; kDeltaBitmask is content-dependent and charges its dense
+  // worst case here (the parity suite covers the shape-faithful codecs).
+  ChargeRing(rows * cols * 4, CodecWireBytes(codec, rows, cols),
+             /*factor=*/2.0, phase, "allreduce");
+}
+
+void Communicator::AllBroadcastTensorShapes(
+    const std::vector<TensorShape>& inputs, Phase phase) {
+  const auto c = static_cast<std::size_t>(num_devices());
+  APT_CHECK_EQ(inputs.size(), c);
+  std::int64_t total = 0;
+  std::int64_t wire_total = 0;
+  const Codec codec = wire_codec(RingClass());
+  for (const TensorShape& t : inputs) {
+    total += t.bytes();
+    wire_total += CodecWireBytes(codec, t.rows, t.cols);
+  }
+  ChargeRing(total, wire_total, /*factor=*/1.0, phase, "allbroadcast");
+}
+
+// --- sampled-execution fast-forward (scale mode) ----------------------------
+
+void Communicator::FastForwardStep(const StepTape& tape) {
+  bool in_pipeline = false;
+  try {
+    for (const StepTapeOp& op : tape.ops) {
+      switch (op.kind) {
+        case StepTapeOp::Kind::kAdvance:
+          ctx_->ReplayAdvance(op.dev, op.dt, op.phase, op.label, op.comm);
+          break;
+        case StepTapeOp::Kind::kBarrier:
+          ctx_->BarrierAll(op.phase);
+          break;
+        case StepTapeOp::Kind::kCompute:
+          ctx_->ChargeCompute(op.dev, op.flops);
+          break;
+        case StepTapeOp::Kind::kAllToAll:
+          ChargeAllToAllImpl(op.a2a_bytes, op.a2a_wire, op.phase);
+          break;
+        case StepTapeOp::Kind::kRing:
+          ChargeRingImpl(op.bytes, op.wire_bytes, op.factor, op.phase, op.label);
+          break;
+        case StepTapeOp::Kind::kTraffic:
+          ctx_->CountTraffic(op.cls, op.bytes, op.wire_bytes);
+          break;
+        case StepTapeOp::Kind::kBeginPipelined:
+          ctx_->BeginPipelinedStep(op.depth);
+          in_pipeline = true;
+          break;
+        case StepTapeOp::Kind::kEndPipelined:
+          ctx_->EndPipelinedStep();
+          in_pipeline = false;
+          break;
+      }
+    }
+  } catch (...) {
+    // Same guarantee as PipelinedStepScope: a fault mid-replay still commits
+    // the partially-captured micro-batch tape, so partial charges (the
+    // completed fraction of a failed collective) land on the clocks.
+    if (in_pipeline) ctx_->EndPipelinedStep();
+    throw;
+  }
 }
 
 }  // namespace apt

@@ -197,6 +197,48 @@ class Communicator {
   /// applying any active link faults at the participants' current clocks.
   LinkSpec RingBottleneck() const;
 
+  // ------------------------------------------------------------------
+  // Analytic fast-forward collectives (scale mode). Shape-only analogs of
+  // the byte-moving collectives above: they run the SAME charging code
+  // (link/codec/fault-threshold math, per-class wire-byte counters) from
+  // byte matrices derived purely from shapes, without materializing or
+  // moving any payload. The golden-parity suite pins them bit-identical
+  // to their byte-moving twins. kDeltaBitmask wire bytes are
+  // content-dependent, so shape-based entry points treat it as its dense
+  // worst case (the CodecWireBytes(rows, cols) convention).
+  // ------------------------------------------------------------------
+
+  /// Logical rows x cols of one would-be payload tensor.
+  struct TensorShape {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t bytes() const { return rows * cols * 4; }
+  };
+
+  /// Analytic AllToAllTensors: parts[i][j] = shape device i sends to j.
+  void AllToAllTensorShapes(const std::vector<std::vector<TensorShape>>& parts,
+                            Phase phase);
+  /// Analytic all-to-all of structural (uncompressed) payloads: wire ==
+  /// logical bytes. Covers AllToAllVec / AllToAllObjects.
+  void AllToAllBytes(const std::vector<std::vector<std::int64_t>>& bytes,
+                     Phase phase);
+  /// Analytic AllReduceSum of one rows x cols tensor per device.
+  void AllReduceSumShape(std::int64_t rows, std::int64_t cols, Phase phase,
+                         bool gradient_sync = false);
+  /// Analytic AllBroadcastTensors.
+  void AllBroadcastTensorShapes(const std::vector<TensorShape>& inputs,
+                                Phase phase);
+
+  // ------------------------------------------------------------------
+  // Sampled-execution fast-forward (scale mode): replays a recorded step
+  // tape through the virtual clocks. Flat advances and barriers replay
+  // literally; collectives and compute re-run their real charging code, so
+  // link faults, stragglers, and wire-byte collective-failure thresholds
+  // fire exactly as they would in a real step (a firing fault poisons the
+  // barrier and throws CollectiveError, same as live execution).
+  // ------------------------------------------------------------------
+  void FastForwardStep(const StepTape& tape);
+
   SimContext& ctx() { return *ctx_; }
 
  private:
@@ -213,6 +255,12 @@ class Communicator {
                       Phase phase) {
     ChargeAllToAll(bytes, bytes, phase);
   }
+  /// The real all-to-all charge. ChargeAllToAll is a thin wrapper that,
+  /// while a step tape records, appends ONE structured kAllToAll op (and
+  /// suppresses the flat advances below) so fast-forward re-runs this code.
+  void ChargeAllToAllImpl(const std::vector<std::vector<std::int64_t>>& bytes,
+                          const std::vector<std::vector<std::int64_t>>& wire,
+                          Phase phase);
   /// Ring collective: time = latency_terms + factor * (C-1)/C * wire / bw.
   /// `label` names the trace slices ("allreduce" / "allbroadcast").
   void ChargeRing(std::int64_t total_bytes, std::int64_t wire_total_bytes,
@@ -221,6 +269,8 @@ class Communicator {
                   const char* label) {
     ChargeRing(total_bytes, total_bytes, factor, phase, label);
   }
+  void ChargeRingImpl(std::int64_t total_bytes, std::int64_t wire_total_bytes,
+                      double factor, Phase phase, const char* label);
   /// Traffic class of a ring schedule over all devices.
   TrafficClass RingClass() const {
     return ctx_->cluster().num_machines() > 1 ? TrafficClass::kCrossMachine

@@ -38,4 +38,16 @@ CommProfile ProfileCommunication(const ClusterSpec& cluster, const FaultPlan& fa
                                  double at_time_s,
                                  std::int64_t trial_bytes = 16LL << 20);
 
+/// Scale-mode variants: identical trial geometry and link/codec math, but the
+/// trials run through the analytic shape entry points (no trial tensors are
+/// materialized or moved) on a scale-mode scratch context. Charged seconds —
+/// and hence the derived bytes/s — are bit-identical to ProfileCommunication
+/// (the golden-parity suite pins this); only the profiling wall cost changes,
+/// which is what lets ResilientRunner re-profile a 1000-device cluster.
+CommProfile ProfileCommunicationAnalytic(const ClusterSpec& cluster,
+                                         std::int64_t trial_bytes = 16LL << 20);
+CommProfile ProfileCommunicationAnalytic(const ClusterSpec& cluster,
+                                         const FaultPlan& faults, double at_time_s,
+                                         std::int64_t trial_bytes = 16LL << 20);
+
 }  // namespace apt

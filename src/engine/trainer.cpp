@@ -77,14 +77,22 @@ double ComparableNow(const SimContext& sim, int pipeline_depth) {
 ParallelTrainer::ParallelTrainer(const Dataset& dataset, TrainerSetup setup)
     : dataset_(&dataset), setup_(std::move(setup)) {
   APT_CHECK_EQ(static_cast<NodeId>(setup_.partition.size()), dataset.graph.num_nodes());
-  sim_ = std::make_unique<SimContext>(setup_.cluster);
+  sim_ = std::make_unique<SimContext>(setup_.cluster, setup_.engine.sim);
   comm_ = std::make_unique<Communicator>(*sim_);
   if (setup_.feature_placement.empty()) {
     setup_.feature_placement.assign(
         static_cast<std::size_t>(dataset.graph.num_nodes()), MachineId{0});
   }
-  store_ = std::make_unique<FeatureStore>(dataset.features, setup_.feature_placement,
-                                          *sim_);
+  if (dataset.features.numel() == 0 && dataset.procedural_feature_dim > 0) {
+    // Scale sweeps: features are generated on demand from a hash of
+    // (seed, node, col) instead of materializing a num_nodes x dim matrix.
+    store_ = std::make_unique<FeatureStore>(
+        dataset.graph.num_nodes(), dataset.procedural_feature_dim,
+        dataset.procedural_feature_seed, setup_.feature_placement, *sim_);
+  } else {
+    store_ = std::make_unique<FeatureStore>(dataset.features,
+                                            setup_.feature_placement, *sim_);
+  }
   // Codec wiring. Storage codec first (ConfigureCaches accounts the cache
   // footprint in at-rest bytes); the wire codec also becomes the model's
   // boundary codec so both halves of the canonical rounding (features at the
@@ -147,10 +155,24 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
                                          sim_->num_devices(), epoch,
                                          setup_.minibatch_seed)
                   : std::vector<std::vector<NodeId>>{};
-  const std::int64_t steps =
+  const std::int64_t full_steps =
       partitioned
           ? QueueStepsPerEpoch(queues, setup_.engine.batch_size_per_device)
           : plan_->StepsPerEpoch();
+  const std::int64_t steps =
+      setup_.engine.max_steps_per_epoch > 0
+          ? std::min(full_steps, setup_.engine.max_steps_per_epoch)
+          : full_steps;
+  // Scale mode: execute one step in `period` for real (a probe), advance the
+  // rest by replaying the probe's step tape through the clocks. Probes
+  // consume SEQUENTIAL minibatch indices (sched_step below), so probe j is
+  // bit-identical to step j of an unsampled run — the sampled-parity tests'
+  // anchor.
+  const bool scale = setup_.engine.sim.scale_mode == ScaleMode::kScale;
+  const std::int64_t period = std::max<std::int64_t>(1, setup_.engine.scale_sample_period);
+  StepTape tape;
+  StepStats last_stats;
+  std::int64_t probe_index = 0, ff_steps = 0;
   double loss = 0.0;
   std::int64_t correct = 0, seeds_done = 0;
   // Per-step cost-model residuals: the dry-run prediction is uniform over
@@ -182,17 +204,23 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
         dev_busy0[static_cast<std::size_t>(d)] = DeviceBusy(*sim_, d);
       }
     }
+    // Fast-forwarded steps replay the probe's tape; only probes sample.
+    const bool probe = !scale || tape.empty() || (step % period == 0);
+    const std::int64_t sched_step = scale ? probe_index : step;
     std::vector<std::vector<NodeId>> per_device;
-    if (partitioned) {
-      per_device.resize(queues.size());
-      for (std::size_t d = 0; d < queues.size(); ++d) {
-        const auto slice =
-            QueueStepSlice(queues[d], step, setup_.engine.batch_size_per_device);
-        per_device[d].assign(slice.begin(), slice.end());
+    if (probe) {
+      if (partitioned) {
+        per_device.resize(queues.size());
+        for (std::size_t d = 0; d < queues.size(); ++d) {
+          const auto slice = QueueStepSlice(queues[d], sched_step,
+                                            setup_.engine.batch_size_per_device);
+          per_device[d].assign(slice.begin(), slice.end());
+        }
+      } else {
+        const std::vector<NodeId> step_seeds =
+            plan_->StepSeeds(epoch_seeds, sched_step);
+        per_device = AssignSeeds(ctx_, step_seeds);
       }
-    } else {
-      const std::vector<NodeId> step_seeds = plan_->StepSeeds(epoch_seeds, step);
-      per_device = AssignSeeds(ctx_, step_seeds);
     }
     const RecoveryOptions& rec = setup_.engine.recovery;
     const double step_wall0 = sim_->MaxNow();
@@ -201,10 +229,18 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
     // the gradients, so a retried step is bit-identical to an undisturbed
     // one — faults inflate simulated time, never the arithmetic. Parameters
     // are untouched until the optimizer below, so a mid-step failure leaves
-    // no residue beyond the (re-zeroed) gradients.
+    // no residue beyond the (re-zeroed) gradients. A fast-forwarded attempt
+    // replays the tape instead; a collective fault consumed mid-replay stays
+    // consumed, so the retry replays clean — same semantics as a live retry.
     for (int attempt = 0;; ++attempt) {
       try {
-        Rng step_rng = epoch_rng.Fork(static_cast<std::uint64_t>(step));
+        if (!probe) {
+          comm_->FastForwardStep(tape);
+          s = last_stats;  // extrapolated from the probe (flagged below)
+          break;
+        }
+        if (scale) sim_->BeginStepRecord();
+        Rng step_rng = epoch_rng.Fork(static_cast<std::uint64_t>(sched_step));
         std::vector<DeviceBatch> batches =
             SampleDeviceBatches(ctx_, per_device, step_rng);
         for (auto& m : models_) m->ZeroGrad();
@@ -222,6 +258,9 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
         AllReduceGradients(ctx_);
         break;
       } catch (const FaultError& e) {
+        // A faulted probe's partial tape is useless (the replayable unit is
+        // one COMPLETED step); the retry records afresh.
+        if (scale && probe) sim_->AbortStepRecord();
         ++recovery_stats_.collective_failures;
         if (!rec.retry_collectives || attempt >= rec.max_retries_per_step) {
           ++recovery_stats_.giveups;
@@ -257,12 +296,23 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
       ++recovery_stats_.step_timeouts;
       obs::Metrics::Global().counter("fault.step_timeouts").Increment();
     }
-    for (std::size_t d = 0; d < models_.size(); ++d) {
-      optimizers_[d]->Step(models_[d]->Params());
-    }
-    // Optimizer work is identical on every replica; charge a nominal cost.
-    for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
-      sim_->ChargeCompute(d, 2.0 * static_cast<double>(models_[0]->ParamBytes()) / 4);
+    if (probe) {
+      for (std::size_t d = 0; d < models_.size(); ++d) {
+        optimizers_[d]->Step(models_[d]->Params());
+      }
+      // Optimizer work is identical on every replica; charge a nominal cost.
+      // Recorded on the tape (kCompute) while scale mode probes, so
+      // fast-forwarded steps charge it too.
+      for (DeviceId d = 0; d < sim_->num_devices(); ++d) {
+        sim_->ChargeCompute(d, 2.0 * static_cast<double>(models_[0]->ParamBytes()) / 4);
+      }
+      if (scale) {
+        tape = sim_->EndStepRecord();
+        last_stats = s;
+        ++probe_index;
+      }
+    } else {
+      ++ff_steps;
     }
     // Simulated-domain step marker on the track's dedicated marker lane:
     // delimits the step for the trace analyzer (latency percentiles) and
@@ -271,10 +321,12 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
       obs::EmitSimSpan(sim_->ObsPid(), sim_->ObsStepLane(), step_wall0,
                        sim_->MaxNow(), "step", "engine",
                        {{"step", static_cast<double>(step), nullptr},
+                        {"fast_forward", probe ? 0.0 : 1.0, nullptr},
                         {"strategy", 0.0, ToString(setup_.engine.strategy)}});
     }
     obs::Flight().Record("step", ToString(setup_.engine.strategy), sim_->MaxNow(),
-                         {{"step", static_cast<double>(step), nullptr}});
+                         {{"step", static_cast<double>(step), nullptr},
+                          {"fast_forward", probe ? 0.0 : 1.0, nullptr}});
     if (telem.on()) {
       // All of a step's samples land at the step's END time: the per-stage
       // deltas are only known once the step completes, and co-locating them
@@ -319,6 +371,8 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   stats.wall_seconds = sim_->MaxNow() - t0;
   stats.comm_sample_seconds = sim_->CommMax(Phase::kSample) - comm0_sample;
   stats.comm_train_seconds = sim_->CommMax(Phase::kTrain) - comm0_train;
+  stats.steps_executed = steps - ff_steps;
+  stats.steps_fast_forwarded = ff_steps;
   if (obs::TracingEnabled()) {
     obs::EmitSimSpan(sim_->ObsPid(), sim_->ObsStepLane(), t0, sim_->MaxNow(),
                      "epoch", "engine",
@@ -332,6 +386,10 @@ EpochStats ParallelTrainer::TrainEpoch(std::int64_t epoch) {
   auto& metrics = obs::Metrics::Global();
   metrics.counter("trainer.epochs").Increment();
   metrics.counter("trainer.steps").Add(steps);
+  if (scale) {
+    metrics.counter("trainer.steps_executed").Add(stats.steps_executed);
+    metrics.counter("trainer.steps_fast_forwarded").Add(ff_steps);
+  }
   if (setup_.predicted_comparable_seconds > 0.0) {
     const double measured = ComparableNow(*sim_, setup_.engine.pipeline_depth) - comparable0;
     const double predicted = setup_.predicted_comparable_seconds;
@@ -365,6 +423,9 @@ double ParallelTrainer::EvaluateAccuracy(std::span<const NodeId> nodes,
                                          std::uint64_t eval_seed,
                                          std::int64_t batch_size) {
   if (nodes.empty()) return 0.0;
+  APT_CHECK_GT(dataset_->features.numel(), 0)
+      << "EvaluateAccuracy reads materialized features; procedural "
+         "(scale-sweep) datasets train without an eval matrix";
   NeighborSampler sampler(dataset_->graph, setup_.engine.fanouts);
   Rng rng(eval_seed);
   std::int64_t correct = 0;

@@ -37,6 +37,21 @@ GatherMetrics& FeatureMetrics() {
   return g;
 }
 
+/// Procedural feature value for (seed, node, col): a splitmix64-style mix
+/// mapped to ~[-0.5, 0.5). Element-local, so any batching of any gather
+/// reads the identical value.
+float ProceduralFeature(std::uint64_t seed, NodeId v, std::int64_t col) {
+  std::uint64_t x = seed +
+                    0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(v) + 1) +
+                    0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(col) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<float>(x >> 40) * (1.0f / 16777216.0f) - 0.5f;
+}
+
 }  // namespace
 
 const char* ToString(FeatureTier t) {
@@ -57,14 +72,29 @@ FeatureStore::FeatureStore(const Tensor& features, std::vector<MachineId> node_m
                            SimContext& ctx)
     : features_(&features), node_machine_(std::move(node_machine)), ctx_(&ctx) {
   APT_CHECK_EQ(static_cast<std::int64_t>(node_machine_.size()), features.rows());
-  const auto c = static_cast<std::size_t>(ctx.num_devices());
-  cache_bitmap_.assign(c, std::vector<std::uint8_t>(
-                              static_cast<std::size_t>(features.rows()), 0));
+  cache_sorted_.assign(static_cast<std::size_t>(ctx.num_devices()), {});
+}
+
+FeatureStore::FeatureStore(NodeId num_nodes, std::int64_t feature_dim,
+                           std::uint64_t seed, std::vector<MachineId> node_machine,
+                           SimContext& ctx)
+    : features_(nullptr),
+      node_machine_(std::move(node_machine)),
+      ctx_(&ctx),
+      procedural_(true),
+      procedural_nodes_(num_nodes),
+      procedural_dim_(feature_dim),
+      procedural_seed_(seed) {
+  APT_CHECK_GT(num_nodes, 0);
+  APT_CHECK_GT(feature_dim, 0);
+  APT_CHECK_EQ(static_cast<NodeId>(node_machine_.size()), num_nodes);
+  cache_sorted_.assign(static_cast<std::size_t>(ctx.num_devices()), {});
 }
 
 void FeatureStore::SetStorageCodec(Codec codec, bool materialize) {
   storage_codec_ = codec;
   rounded_ = Tensor();
+  if (procedural_) return;  // rounding happens per generated row in Gather
   if (CodecIsLossy(codec) && materialize) {
     // Round once, over full rows, in the canonical storage order. Gathers
     // copy from this tensor, so a row reads back bit-identically no matter
@@ -77,13 +107,17 @@ void FeatureStore::SetStorageCodec(Codec codec, bool materialize) {
 
 void FeatureStore::ConfigureCaches(const std::vector<std::vector<NodeId>>& cache_nodes,
                                    std::int64_t bytes_per_cached_row) {
-  APT_CHECK_EQ(cache_nodes.size(), cache_bitmap_.size());
+  APT_CHECK_EQ(cache_nodes.size(), cache_sorted_.size());
   for (std::size_t d = 0; d < cache_nodes.size(); ++d) {
-    std::fill(cache_bitmap_[d].begin(), cache_bitmap_[d].end(), 0);
-    for (NodeId v : cache_nodes[d]) {
+    std::vector<NodeId> sorted = cache_nodes[d];
+    for (NodeId v : sorted) {
       APT_CHECK(v >= 0 && v < num_nodes()) << "cache node " << v;
-      cache_bitmap_[d][static_cast<std::size_t>(v)] = 1;
     }
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    cache_sorted_[d] = std::move(sorted);
+    // Footprint stays the CALLER's row count (duplicates included) — same
+    // memory accounting as before the sorted-membership representation.
     ctx_->AllocPersistent(static_cast<DeviceId>(d),
                           static_cast<std::int64_t>(cache_nodes[d].size()) *
                               bytes_per_cached_row);
@@ -171,14 +205,37 @@ LoadVolume FeatureStore::Gather(DeviceId dev, std::span<const NodeId> nodes,
   APT_CHECK_EQ(out.cols(), col_hi - col_lo);
   const LoadVolume vol = CountGather(dev, nodes, col_lo, col_hi);
   const std::int64_t width = col_hi - col_lo;
-  APT_CHECK(!CodecIsLossy(storage_codec_) || rounded_.numel() > 0)
-      << "lossy storage codec was set without materializing the rounded copy";
-  const Tensor& src_tensor = served();
-  // The row copies are independent; this is the memory-bound half of T_load.
-  ParallelFor(0, static_cast<std::int64_t>(nodes.size()), [&](std::int64_t i) {
-    const float* src = src_tensor.row(nodes[static_cast<std::size_t>(i)]) + col_lo;
-    std::copy_n(src, width, out.row(i));
-  }, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, width)));
+  if (procedural_) {
+    // Generate each requested row on the fly. The FULL row is generated and
+    // (under a lossy codec) rounded before slicing: bf16/int8 round per
+    // element / per full row, so the slice matches what a materialized store
+    // would have rounded at rest — slicing first would change int8's per-row
+    // maxabs scale.
+    const std::int64_t dim = procedural_dim_;
+    ParallelForChunks(0, static_cast<std::int64_t>(nodes.size()),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        Tensor row_buf(1, dim);
+                        float* r = row_buf.row(0);
+                        const bool lossy = CodecIsLossy(storage_codec_);
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          const NodeId v = nodes[static_cast<std::size_t>(i)];
+                          for (std::int64_t col = 0; col < dim; ++col) {
+                            r[col] = ProceduralFeature(procedural_seed_, v, col);
+                          }
+                          if (lossy) CodecRoundRows(storage_codec_, row_buf);
+                          std::copy_n(r + col_lo, width, out.row(i));
+                        }
+                      });
+  } else {
+    APT_CHECK(!CodecIsLossy(storage_codec_) || rounded_.numel() > 0)
+        << "lossy storage codec was set without materializing the rounded copy";
+    const Tensor& src_tensor = served();
+    // The row copies are independent; this is the memory-bound half of T_load.
+    ParallelFor(0, static_cast<std::int64_t>(nodes.size()), [&](std::int64_t i) {
+      const float* src = src_tensor.row(nodes[static_cast<std::size_t>(i)]) + col_lo;
+      std::copy_n(src, width, out.row(i));
+    }, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, width)));
+  }
   GatherMetrics& metrics = FeatureMetrics();
   metrics.gathers.Increment();
   std::int64_t total_rows = 0;

@@ -6,6 +6,7 @@
 // remote CPU — with real row copies plus simulated transfer time per tier.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -78,6 +79,15 @@ class FeatureStore {
   FeatureStore(const Tensor& features, std::vector<MachineId> node_machine,
                SimContext& ctx);
 
+  /// Procedural store (scale mode): no backing matrix — row v's features are
+  /// generated on demand from a hash of (seed, v, col), so 100M-node-class
+  /// graphs train without materializing num_nodes x dim fp32. Deterministic
+  /// and batching-independent: the same (node, col) always reads the same
+  /// value, and lossy storage codecs round each generated row exactly as the
+  /// materialized path rounds its stored row.
+  FeatureStore(NodeId num_nodes, std::int64_t feature_dim, std::uint64_t seed,
+               std::vector<MachineId> node_machine, SimContext& ctx);
+
   /// Selects the at-rest representation for every tier (CPU shards and GPU
   /// caches alike). A lossy codec rounds each row ONCE, at the storage tier,
   /// in fixed row-major order — every consumer then observes the identical
@@ -116,16 +126,23 @@ class FeatureStore {
   /// per non-empty tier; bandwidth from the cluster link model).
   double LoadSeconds(DeviceId dev, const LoadVolume& volume) const;
 
-  /// True if dev's cache holds v.
+  /// True if dev's cache holds v. Membership is a binary search over the
+  /// device's sorted cached-node list: O(nodes) memory per device instead of
+  /// the O(num_nodes) bitmap a 100M-node procedural graph cannot afford.
   bool Cached(DeviceId dev, NodeId v) const {
-    return cache_bitmap_[static_cast<std::size_t>(dev)]
-                        [static_cast<std::size_t>(v)] != 0;
+    const auto& nodes = cache_sorted_[static_cast<std::size_t>(dev)];
+    return std::binary_search(nodes.begin(), nodes.end(), v);
   }
 
   FeatureTier Classify(DeviceId dev, NodeId v) const;
 
-  std::int64_t feature_dim() const { return features_->cols(); }
-  std::int64_t num_nodes() const { return features_->rows(); }
+  std::int64_t feature_dim() const {
+    return procedural_ ? procedural_dim_ : features_->cols();
+  }
+  std::int64_t num_nodes() const {
+    return procedural_ ? procedural_nodes_ : features_->rows();
+  }
+  bool procedural() const { return procedural_; }
 
  private:
   /// The tensor gathers copy from: the caller's fp32 features under the
@@ -134,12 +151,16 @@ class FeatureStore {
     return rounded_.numel() > 0 ? rounded_ : *features_;
   }
 
-  const Tensor* features_;
+  const Tensor* features_;  ///< null in procedural mode
   std::vector<MachineId> node_machine_;
   SimContext* ctx_;
   Codec storage_codec_ = Codec::kIdentity;
   Tensor rounded_;  ///< codec-rounded copy (empty when identity/unmaterialized)
-  std::vector<std::vector<std::uint8_t>> cache_bitmap_;  ///< per device
+  std::vector<std::vector<NodeId>> cache_sorted_;  ///< per device, sorted+deduped
+  bool procedural_ = false;
+  NodeId procedural_nodes_ = 0;
+  std::int64_t procedural_dim_ = 0;
+  std::uint64_t procedural_seed_ = 0;
 };
 
 /// Assigns features to machines: node v lives on the machine hosting the

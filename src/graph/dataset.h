@@ -30,9 +30,24 @@ struct Dataset {
   std::vector<NodeId> val_nodes;
   std::vector<NodeId> test_nodes;
   std::int32_t num_communities = 0; ///< generator communities (0 if unknown)
+  /// Procedural features (scale mode): when `features` is empty and this is
+  /// > 0, feature rows are generated on demand from a hash of
+  /// (procedural_feature_seed, node, col) by the FeatureStore — 100M-node
+  /// graphs train without a num_nodes x dim matrix. Values are deterministic
+  /// and batching-independent.
+  std::int64_t procedural_feature_dim = 0;
+  std::uint64_t procedural_feature_seed = 0;
 
-  std::int64_t feature_dim() const { return features.cols(); }
-  std::int64_t FeatureBytes() const { return features.bytes(); }
+  std::int64_t feature_dim() const {
+    return features.numel() > 0 || procedural_feature_dim <= 0
+               ? features.cols()
+               : procedural_feature_dim;
+  }
+  std::int64_t FeatureBytes() const {
+    return features.numel() > 0
+               ? features.bytes()
+               : graph.num_nodes() * procedural_feature_dim * 4;
+  }
 };
 
 /// Knobs for building a synthetic dataset.

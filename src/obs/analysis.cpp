@@ -303,7 +303,14 @@ TraceSet AnalyzeSlices(
     for (const SliceRec* s : markers) {
       const auto strat = s->str_args.find("strategy");
       if (strat != s->str_args.end()) a.strategy = strat->second;
-      if (s->name == "step") step_s.push_back(s->dur_s);
+      if (s->name == "step") {
+        step_s.push_back(s->dur_s);
+        // Scale-mode fast-forwarded steps (tape replay, extrapolated
+        // loss/accuracy) mark themselves; the report flags the track.
+        if (MapOr(s->num_args, "fast_forward", 0.0) != 0.0) {
+          ++a.steps_fast_forwarded;
+        }
+      }
     }
     if (!step_s.empty()) {
       std::sort(step_s.begin(), step_s.end());
@@ -501,7 +508,13 @@ void WriteTrackReport(std::ostream& os, const TraceAnalysis& a) {
   if (a.steps.count > 0) {
     os << "  steps: n=" << a.steps.count << "  mean " << Ms(a.steps.mean_s) << "  p50 "
        << Ms(a.steps.p50_s) << "  p95 " << Ms(a.steps.p95_s) << "  p99 "
-       << Ms(a.steps.p99_s) << "  max " << Ms(a.steps.max_s) << "\n";
+       << Ms(a.steps.p99_s) << "  max " << Ms(a.steps.max_s);
+    if (a.steps_fast_forwarded > 0) {
+      os << "  [EXTRAPOLATED: " << a.steps_fast_forwarded
+         << " fast-forwarded (scale mode) — timing exact-model, loss/accuracy "
+            "from probe steps]";
+    }
+    os << "\n";
   }
   if (a.serve.Any()) {
     os << "  serving: requests n=" << a.serve.latency.count << "  shed "

@@ -12,8 +12,24 @@ std::int32_t ClusterSpec::num_devices() const {
   return n;
 }
 
+void ClusterSpec::EnsureDeviceIndex() const {
+  device_machine_.clear();
+  device_local_.clear();
+  device_machine_.reserve(static_cast<std::size_t>(num_devices()));
+  device_local_.reserve(device_machine_.capacity());
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    for (std::int32_t g = 0; g < machines[m].num_gpus; ++g) {
+      device_machine_.push_back(static_cast<MachineId>(m));
+      device_local_.push_back(g);
+    }
+  }
+}
+
 MachineId ClusterSpec::MachineOf(DeviceId dev) const {
   APT_CHECK_GE(dev, 0);
+  if (static_cast<std::size_t>(dev) < device_machine_.size()) {
+    return device_machine_[static_cast<std::size_t>(dev)];
+  }
   DeviceId base = 0;
   for (std::size_t m = 0; m < machines.size(); ++m) {
     if (dev < base + machines[m].num_gpus) return static_cast<MachineId>(m);
@@ -23,6 +39,9 @@ MachineId ClusterSpec::MachineOf(DeviceId dev) const {
 }
 
 std::int32_t ClusterSpec::LocalIndex(DeviceId dev) const {
+  if (dev >= 0 && static_cast<std::size_t>(dev) < device_local_.size()) {
+    return device_local_[static_cast<std::size_t>(dev)];
+  }
   DeviceId base = 0;
   for (const auto& m : machines) {
     if (dev < base + m.num_gpus) return dev - base;

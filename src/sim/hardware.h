@@ -60,6 +60,13 @@ struct ClusterSpec {
   /// Global device id -> index within its machine.
   std::int32_t LocalIndex(DeviceId dev) const;
 
+  /// Builds the O(1) device -> machine lookup used by MachineOf/LocalIndex.
+  /// Without it both fall back to an O(num_machines) scan — fine at bench
+  /// scale, quadratic death inside 1000-device collectives. SimContext calls
+  /// this once at construction (single-threaded); call it again if the
+  /// machine list is mutated afterwards.
+  void EnsureDeviceIndex() const;
+
   const MachineSpec& machine(MachineId m) const { return machines[static_cast<std::size_t>(m)]; }
   const DeviceSpec& device(DeviceId dev) const { return machine(MachineOf(dev)).gpu; }
 
@@ -67,6 +74,13 @@ struct ClusterSpec {
   LinkSpec LinkBetween(DeviceId a, DeviceId b) const;
   /// The channel used for a device reading from machine m's CPU memory.
   LinkSpec LinkToCpu(DeviceId dev, MachineId m) const;
+
+ private:
+  // Flat lookup tables built by EnsureDeviceIndex. Mutable: the index is a
+  // cache over `machines`, not part of the spec's value (copies start empty
+  // and rebuild on demand via EnsureDeviceIndex).
+  mutable std::vector<MachineId> device_machine_;
+  mutable std::vector<std::int32_t> device_local_;
 };
 
 /// Paper platform: one machine with 8 T4 GPUs on PCIe 3.0.

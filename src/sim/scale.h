@@ -1,0 +1,41 @@
+// Scale-mode options for the simulator (ROADMAP item 2, Proteus direction).
+//
+// Scale mode lets the simulator sweep paper-scale clusters (100+ machines,
+// 1000+ devices) and 100M-node-class graphs by removing the two costs that
+// bound today's benches — O(C^2) buffer materialization inside collectives
+// and real per-step compute — WITHOUT changing a single charged second:
+//
+//   1. analytic fast-forward collectives: ChargeRing / ChargeAllToAll
+//      charge their closed-form seconds from byte matrices alone (same
+//      link/codec/fault-threshold math, same per-class wire-byte counters);
+//   2. sampled execution: the trainer executes 1-in-N steps for real
+//      (bit-identical to an unsampled run via the per-step forked RNG) and
+//      advances the remaining steps by replaying the sampled step's
+//      recorded per-device stage tape through the virtual clocks;
+//   3. a parallelized virtual-clock advance: per-device clock updates of
+//      wide collectives and barriers batch through the fork-join pool
+//      (per-device state is disjoint, so results are bit-identical).
+//
+// The invariant (DESIGN.md "Scale mode"): fast-forward never changes
+// charged seconds or trained parameters — pinned by the golden-parity suite
+// in tests/sim/scale_parity_test.cpp and the sampled-execution parity tests.
+#pragma once
+
+namespace apt {
+
+enum class ScaleMode {
+  kOff = 0,    ///< today's exact behaviour, bit-identical to before
+  kScale = 1,  ///< analytic collectives + parallel clock advance enabled
+};
+
+inline const char* ToString(ScaleMode m) {
+  return m == ScaleMode::kScale ? "scale" : "off";
+}
+
+/// Simulator-level options, carried by EngineOptions::sim and handed to
+/// SimContext at construction.
+struct SimOptions {
+  ScaleMode scale_mode = ScaleMode::kOff;
+};
+
+}  // namespace apt

@@ -6,6 +6,7 @@
 
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "runtime/parallel_for.h"
 
 namespace apt {
 
@@ -67,9 +68,13 @@ const char* ToString(TrafficClass c) {
   return "?";
 }
 
-SimContext::SimContext(ClusterSpec cluster) : cluster_(std::move(cluster)) {
+SimContext::SimContext(ClusterSpec cluster, SimOptions options)
+    : cluster_(std::move(cluster)), options_(options) {
   const auto n = static_cast<std::size_t>(cluster_.num_devices());
   APT_CHECK_GT(n, 0u);
+  // Built here (single-threaded) so concurrent consumers — serving workers,
+  // the scale-mode parallel clock advance — never race a lazy build.
+  cluster_.EnsureDeviceIndex();
   clocks_.assign(n, 0.0);
   phase_time_.assign(n, {});
   comm_time_.assign(n, {});
@@ -113,6 +118,19 @@ void SimContext::AdvanceInternal(DeviceId dev, double dt, Phase phase,
                                  bool comm) {
   APT_CHECK_GE(dt, 0.0) << "negative time step";
   const std::size_t i = Check(dev);
+  if (RecordingStep()) {
+    // Recorded BEFORE the pipeline-capture branch: fast-forward replays the
+    // op into a re-opened pipelined scope (kBeginPipelined), reproducing the
+    // capture-then-replay scheduling of the real step.
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kAdvance;
+    op.dev = dev;
+    op.dt = dt;
+    op.phase = phase;
+    op.comm = comm;
+    op.label = label;
+    record_tape_.ops.push_back(std::move(op));
+  }
   if (pipeline_depth_ > 1) {
     // Capturing: defer to the micro-batch replay at EndPipelinedStep.
     PipelineOp op;
@@ -148,6 +166,12 @@ void SimContext::BarrierAll(Phase phase) {
   if (poisoned_) {
     throw BarrierPoisonedError("barrier poisoned: " + poison_reason_);
   }
+  if (RecordingStep()) {
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kBarrier;
+    op.phase = phase;
+    record_tape_.ops.push_back(std::move(op));
+  }
   if (pipeline_depth_ > 1) {
     // Capturing: the barrier becomes a per-micro-batch stream-sync point
     // (poison still throws above — it must surface immediately).
@@ -159,7 +183,7 @@ void SimContext::BarrierAll(Phase phase) {
   }
   const double target = MaxNow();
   const bool tracing = obs::TracingEnabled();
-  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+  const auto wait_one = [&](std::size_t i) {
     const double wait = target - clocks_[i];
     phase_time_[i][static_cast<std::size_t>(phase)] += wait;
     comm_time_[i][static_cast<std::size_t>(phase)] += wait;
@@ -168,6 +192,19 @@ void SimContext::BarrierAll(Phase phase) {
                        "wait", ToString(phase));
     }
     clocks_[i] = target;
+  };
+  if (options_.scale_mode == ScaleMode::kScale && clocks_.size() >= 64) {
+    // Scale mode: per-device waits are disjoint writes, so the commit
+    // batches through the fork-join pool. Values are bit-identical to the
+    // serial loop (no cross-device arithmetic).
+    ParallelForChunks(0, static_cast<std::int64_t>(clocks_.size()),
+                      [&](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          wait_one(static_cast<std::size_t>(i));
+                        }
+                      });
+  } else {
+    for (std::size_t i = 0; i < clocks_.size(); ++i) wait_one(i);
   }
 #ifndef NDEBUG
   DebugCheckClockInvariant();
@@ -263,8 +300,68 @@ double SimContext::ComputeSeconds(DeviceId dev, double flops) const {
 }
 
 void SimContext::ChargeCompute(DeviceId dev, double flops) {
+  if (RecordingStep()) {
+    // Structured op: replay calls ChargeCompute again, so straggler factors
+    // re-evaluate at the REPLAY-time clock, not the recorded one.
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kCompute;
+    op.dev = dev;
+    op.flops = flops;
+    record_tape_.ops.push_back(std::move(op));
+    RecordSuppressScope suppress(*this);
+    AdvanceLabeled(dev, ComputeSeconds(dev, flops), Phase::kTrain, "compute",
+                   {{"flops", flops, nullptr}});
+    return;
+  }
   AdvanceLabeled(dev, ComputeSeconds(dev, flops), Phase::kTrain, "compute",
                  {{"flops", flops, nullptr}});
+}
+
+// --- step tape recording ----------------------------------------------------
+
+void SimContext::BeginStepRecord() {
+  APT_CHECK(!recording_) << "step record scopes cannot nest";
+  APT_CHECK_EQ(record_suppress_, 0);
+  recording_ = true;
+  record_tape_.ops.clear();
+}
+
+void SimContext::AbortStepRecord() {
+  recording_ = false;
+  record_suppress_ = 0;
+  record_tape_.ops.clear();
+}
+
+StepTape SimContext::EndStepRecord() {
+  APT_CHECK(recording_) << "EndStepRecord without BeginStepRecord";
+  APT_CHECK_EQ(record_suppress_, 0);
+  recording_ = false;
+  StepTape out;
+  std::swap(out, record_tape_);
+  return out;
+}
+
+void SimContext::RecordAllToAll(std::vector<std::vector<std::int64_t>> bytes,
+                                std::vector<std::vector<std::int64_t>> wire_bytes,
+                                Phase phase) {
+  StepTapeOp op;
+  op.kind = StepTapeOp::Kind::kAllToAll;
+  op.phase = phase;
+  op.a2a_bytes = std::move(bytes);
+  op.a2a_wire = std::move(wire_bytes);
+  record_tape_.ops.push_back(std::move(op));
+}
+
+void SimContext::RecordRing(std::int64_t total_bytes, std::int64_t wire_bytes,
+                            double factor, Phase phase, const char* label) {
+  StepTapeOp op;
+  op.kind = StepTapeOp::Kind::kRing;
+  op.phase = phase;
+  op.bytes = total_bytes;
+  op.wire_bytes = wire_bytes;
+  op.factor = factor;
+  op.label = label;
+  record_tape_.ops.push_back(std::move(op));
 }
 
 TrafficClass SimContext::ClassifyDeviceLink(DeviceId a, DeviceId b) const {
@@ -279,6 +376,16 @@ TrafficClass SimContext::ClassifyCpuLink(DeviceId dev, MachineId m) const {
 
 void SimContext::CountTraffic(TrafficClass c, std::int64_t bytes,
                               std::int64_t wire_bytes) {
+  if (RecordingStep()) {
+    // Recorded AND counted: the probe step's own traffic is real; replay
+    // re-issues the count so fast-forwarded steps accumulate identically.
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kTraffic;
+    op.cls = c;
+    op.bytes = bytes;
+    op.wire_bytes = wire_bytes;
+    record_tape_.ops.push_back(std::move(op));
+  }
   const std::size_t i = static_cast<std::size_t>(c);
   const std::int64_t total =
       traffic_bytes_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;

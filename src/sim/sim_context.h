@@ -20,6 +20,7 @@
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/hardware.h"
+#include "sim/scale.h"
 
 namespace apt {
 
@@ -41,9 +42,56 @@ enum class TrafficClass : int {
 
 const char* ToString(TrafficClass c);
 
+// --- step tape (scale mode) -------------------------------------------------
+//
+// Scale mode's sampled execution records one really-executed training step as
+// a tape of timing-relevant operations, then fast-forwards the remaining
+// steps of the period by replaying the tape through the virtual clocks
+// (Communicator::FastForwardStep). The tape is a STRUCTURED record: advances
+// and barriers replay literally, while collectives and compute replay through
+// the SAME charging code the real step used — so link degradation, straggler
+// inflation, and wire-byte fault thresholds re-evaluate at the replay-time
+// clocks exactly as a real step would evaluate them.
+
+struct StepTapeOp {
+  enum class Kind : std::uint8_t {
+    kAdvance = 0,         ///< flat clock advance (dev, dt, phase, comm)
+    kBarrier = 1,         ///< BarrierAll(phase)
+    kCompute = 2,         ///< ChargeCompute(dev, flops): straggler re-eval
+    kAllToAll = 3,        ///< Communicator all-to-all charge (byte matrices)
+    kRing = 4,            ///< Communicator ring charge (totals + factor)
+    kTraffic = 5,         ///< CountTraffic outside a collective (gathers)
+    kBeginPipelined = 6,  ///< BeginPipelinedStep(depth)
+    kEndPipelined = 7,    ///< EndPipelinedStep()
+  };
+  Kind kind = Kind::kAdvance;
+  DeviceId dev = -1;
+  Phase phase = Phase::kTrain;
+  bool comm = false;
+  double dt = 0.0;
+  double flops = 0.0;
+  const char* label = nullptr;  ///< string literal (TraceArg lifetime rule)
+  int depth = 1;                ///< kBeginPipelined
+  std::int64_t bytes = 0;       ///< kRing totals / kTraffic logical bytes
+  std::int64_t wire_bytes = 0;
+  double factor = 1.0;          ///< kRing volume factor
+  TrafficClass cls = TrafficClass::kLocalCpuGpu;  ///< kTraffic
+  /// kAllToAll: per-lane logical / wire byte matrices (empty otherwise).
+  std::vector<std::vector<std::int64_t>> a2a_bytes;
+  std::vector<std::vector<std::int64_t>> a2a_wire;
+};
+
+struct StepTape {
+  std::vector<StepTapeOp> ops;
+  bool empty() const { return ops.empty(); }
+};
+
 class SimContext {
  public:
-  explicit SimContext(ClusterSpec cluster);
+  explicit SimContext(ClusterSpec cluster, SimOptions options = {});
+
+  const SimOptions& options() const { return options_; }
+  ScaleMode scale_mode() const { return options_.scale_mode; }
 
   const ClusterSpec& cluster() const { return cluster_; }
   std::int32_t num_devices() const { return static_cast<std::int32_t>(clocks_.size()); }
@@ -176,6 +224,54 @@ class SimContext {
   /// over devices, attributed to `phase`. Zero unless pipelined steps ran.
   double CommStreamOf(DeviceId dev, Phase phase) const;
   double CommStreamMax(Phase phase) const;
+
+  // --- step tape recording (scale mode) --------------------------------
+  //
+  // While recording, every clock mutation and traffic count appends a
+  // structured op to the tape IN ADDITION to executing normally — the
+  // recorded step itself is bit-identical to an unrecorded one. Compound
+  // charges (collectives, ChargeCompute) record ONE structured op and
+  // suppress the flat advances their implementation issues, so replay
+  // re-runs the charging math instead of replaying stale numbers.
+
+  /// Starts recording; any partial previous tape is discarded.
+  void BeginStepRecord();
+  /// Discards the partial tape (fault path: the replayable unit is a
+  /// completed step, a faulted attempt is re-executed for real on retry).
+  void AbortStepRecord();
+  /// Stops recording and returns the completed tape.
+  StepTape EndStepRecord();
+  bool RecordingStep() const {
+    return recording_ && record_suppress_ == 0;
+  }
+  /// Appends a structured collective op (called by the Communicator, which
+  /// then suppresses + executes the real charge).
+  void RecordAllToAll(std::vector<std::vector<std::int64_t>> bytes,
+                      std::vector<std::vector<std::int64_t>> wire_bytes,
+                      Phase phase);
+  void RecordRing(std::int64_t total_bytes, std::int64_t wire_bytes,
+                  double factor, Phase phase, const char* label);
+  /// Replays one flat advance from a tape (empty annotations; accounting
+  /// identical to the recorded advance).
+  void ReplayAdvance(DeviceId dev, double dt, Phase phase, const char* label,
+                     bool comm) {
+    AdvanceInternal(dev, dt, phase, label, {}, comm);
+  }
+
+  /// Suppresses recording for a scope: flat advances issued inside a
+  /// compound charge do not land on the tape (the compound op does).
+  class RecordSuppressScope {
+   public:
+    explicit RecordSuppressScope(SimContext& sim) : sim_(sim) {
+      ++sim_.record_suppress_;
+    }
+    ~RecordSuppressScope() { --sim_.record_suppress_; }
+    RecordSuppressScope(const RecordSuppressScope&) = delete;
+    RecordSuppressScope& operator=(const RecordSuppressScope&) = delete;
+
+   private:
+    SimContext& sim_;
+  };
 
   /// Trace pid of this context's simulated track (one lane per device plus
   /// one marker lane, see ObsStepLane), registered with the global tracer on
@@ -331,6 +427,10 @@ class SimContext {
   void NoteLinkObserved(std::size_t fault_index, double at_s) const;
 
   ClusterSpec cluster_;
+  SimOptions options_;
+  bool recording_ = false;    ///< step-tape recording active
+  int record_suppress_ = 0;   ///< >0 inside a compound charge
+  StepTape record_tape_;
   std::vector<double> clocks_;
   std::vector<std::array<double, kNumPhases>> phase_time_;
   std::vector<std::array<double, kNumPhases>> comm_time_;

@@ -40,12 +40,28 @@ namespace apt {
 void SimContext::BeginPipelinedStep(int depth) {
   APT_CHECK_GT(depth, 1) << "pipelined scope needs depth >= 2";
   APT_CHECK_EQ(pipeline_depth_, 1) << "pipelined steps cannot nest";
+  if (RecordingStep()) {
+    // Step-tape hook (scale mode): fast-forward re-opens the scope so the
+    // replayed ops are captured and scheduled exactly like the real step.
+    // The replay commits in ReplayPipeline write clock arrays directly —
+    // never through Advance/BarrierAll — so only the scope boundaries need
+    // recording.
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kBeginPipelined;
+    op.depth = depth;
+    record_tape_.ops.push_back(std::move(op));
+  }
   pipeline_depth_ = depth;
   pipeline_tape_.clear();
 }
 
 void SimContext::EndPipelinedStep() {
   if (pipeline_depth_ <= 1) return;
+  if (RecordingStep()) {
+    StepTapeOp op;
+    op.kind = StepTapeOp::Kind::kEndPipelined;
+    record_tape_.ops.push_back(std::move(op));
+  }
   const int depth = pipeline_depth_;
   pipeline_depth_ = 1;  // replay below charges clocks live
   std::vector<PipelineOp> tape;

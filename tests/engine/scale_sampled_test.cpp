@@ -1,0 +1,193 @@
+// Sampled-execution parity suite for scale mode (DESIGN.md "Scale mode").
+//
+// The invariant under test: fast-forwarding never changes trained
+// parameters or charged seconds of the steps that DO run. Probe steps
+// consume sequential mini-batch indices and fork their own rng streams, so
+// probe j of a scale run is bit-identical to step j of an unsampled run;
+// fast-forwarded steps replay the last probe's step tape through the
+// virtual clocks, so timing stays exact-model while loss/accuracy become
+// EXTRAPOLATED (flagged via EpochStats::steps_fast_forwarded).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/trainer.h"
+#include "sim/scale.h"
+#include "test_util.h"
+
+namespace apt {
+namespace {
+
+using ::apt::testing::MakeTrainerWithOptions;
+using ::apt::testing::MaxParamDiff;
+using ::apt::testing::SmallDataset;
+
+EngineOptions BaseOptions(Strategy strategy, int pipeline_depth = 1) {
+  EngineOptions opts;
+  opts.strategy = strategy;
+  opts.fanouts = {4, 4};
+  opts.batch_size_per_device = 8;
+  opts.cache_bytes_per_device = 1 << 18;
+  opts.seed_assignment = EngineOptions::DefaultAssignment(strategy);
+  opts.pipeline_depth = pipeline_depth;
+  return opts;
+}
+
+constexpr Strategy kAllStrategies[] = {Strategy::kGDP, Strategy::kNFP,
+                                       Strategy::kSNP, Strategy::kDNP};
+
+// Probe steps must be BIT-identical to the same steps of an unsampled run:
+// a scale run with period 4 over 16 steps executes probes 0..3, which see
+// exactly the mini-batches and rng streams of steps 0..3 of a scale-off run
+// capped at 4 steps. Trained parameters therefore match exactly.
+TEST(ScaleSampledTest, ProbesAreBitIdenticalToUnsampledRun) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  for (const Strategy strategy : kAllStrategies) {
+    SCOPED_TRACE(ToString(strategy));
+    EngineOptions scale_opts = BaseOptions(strategy);
+    scale_opts.sim.scale_mode = ScaleMode::kScale;
+    scale_opts.scale_sample_period = 4;
+    scale_opts.max_steps_per_epoch = 16;
+    auto scale = MakeTrainerWithOptions(ds, cluster, scale_opts);
+    const EpochStats scale_stats = scale->TrainEpoch(0);
+    EXPECT_EQ(scale_stats.steps_executed, 4);
+    EXPECT_EQ(scale_stats.steps_fast_forwarded, 12);
+
+    EngineOptions ref_opts = BaseOptions(strategy);
+    ref_opts.max_steps_per_epoch = 4;  // exactly the probes
+    auto ref = MakeTrainerWithOptions(ds, cluster, ref_opts);
+    const EpochStats ref_stats = ref->TrainEpoch(0);
+    EXPECT_EQ(ref_stats.steps_executed, 4);
+    EXPECT_EQ(ref_stats.steps_fast_forwarded, 0);
+
+    EXPECT_EQ(MaxParamDiff(scale->model0(), ref->model0()), 0.0);
+  }
+}
+
+// period = 1 probes every step: scale mode ON must be bit-identical to
+// scale mode OFF in params, loss, AND charged seconds (nothing is ever
+// fast-forwarded; recording a tape must not perturb the clocks).
+TEST(ScaleSampledTest, PeriodOneIsBitIdenticalToScaleOff) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  for (const Strategy strategy : {Strategy::kGDP, Strategy::kSNP}) {
+    SCOPED_TRACE(ToString(strategy));
+    EngineOptions scale_opts = BaseOptions(strategy);
+    scale_opts.sim.scale_mode = ScaleMode::kScale;
+    scale_opts.scale_sample_period = 1;
+    scale_opts.max_steps_per_epoch = 8;
+    auto scale = MakeTrainerWithOptions(ds, cluster, scale_opts);
+    const EpochStats scale_stats = scale->TrainEpoch(0);
+
+    EngineOptions off_opts = BaseOptions(strategy);
+    off_opts.max_steps_per_epoch = 8;
+    auto off = MakeTrainerWithOptions(ds, cluster, off_opts);
+    const EpochStats off_stats = off->TrainEpoch(0);
+
+    EXPECT_EQ(scale_stats.steps_executed, 8);
+    EXPECT_EQ(scale_stats.steps_fast_forwarded, 0);
+    EXPECT_EQ(scale_stats.loss, off_stats.loss);
+    EXPECT_EQ(scale_stats.wall_seconds, off_stats.wall_seconds);
+    EXPECT_EQ(scale_stats.sim_seconds, off_stats.sim_seconds);
+    EXPECT_EQ(MaxParamDiff(scale->model0(), off->model0()), 0.0);
+  }
+}
+
+// Pipelined execution records kBeginPipelined/kEndPipelined ops; replaying
+// them must preserve probe parity exactly like the depth-1 path.
+TEST(ScaleSampledTest, ProbeParityHoldsUnderPipelining) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  EngineOptions scale_opts = BaseOptions(Strategy::kSNP, /*pipeline_depth=*/4);
+  scale_opts.sim.scale_mode = ScaleMode::kScale;
+  scale_opts.scale_sample_period = 3;
+  scale_opts.max_steps_per_epoch = 9;
+  auto scale = MakeTrainerWithOptions(ds, cluster, scale_opts);
+  const EpochStats scale_stats = scale->TrainEpoch(0);
+  EXPECT_EQ(scale_stats.steps_executed, 3);
+  EXPECT_EQ(scale_stats.steps_fast_forwarded, 6);
+
+  EngineOptions ref_opts = BaseOptions(Strategy::kSNP, /*pipeline_depth=*/4);
+  ref_opts.max_steps_per_epoch = 3;
+  auto ref = MakeTrainerWithOptions(ds, cluster, ref_opts);
+  ref->TrainEpoch(0);
+  EXPECT_EQ(MaxParamDiff(scale->model0(), ref->model0()), 0.0);
+}
+
+// Without faults the cluster model is time-invariant, so replaying one
+// probe's tape charges the same seconds the probe charged: an epoch of
+// 1 probe + (S-1) fast-forwards costs S x (one-step epoch), up to float
+// accumulation (clocks re-sync at every step's gradient barrier).
+TEST(ScaleSampledTest, FastForwardReplaysTheProbesCharges) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  const std::int64_t steps = 6;
+  EngineOptions scale_opts = BaseOptions(Strategy::kGDP);
+  scale_opts.sim.scale_mode = ScaleMode::kScale;
+  scale_opts.scale_sample_period = 1000;  // 1 probe, 5 fast-forwards
+  scale_opts.max_steps_per_epoch = steps;
+  auto scale = MakeTrainerWithOptions(ds, cluster, scale_opts);
+  const EpochStats scale_stats = scale->TrainEpoch(0);
+  EXPECT_EQ(scale_stats.steps_executed, 1);
+  EXPECT_EQ(scale_stats.steps_fast_forwarded, steps - 1);
+
+  EngineOptions one_opts = BaseOptions(Strategy::kGDP);
+  one_opts.max_steps_per_epoch = 1;
+  auto one = MakeTrainerWithOptions(ds, cluster, one_opts);
+  const EpochStats one_stats = one->TrainEpoch(0);
+
+  const double expect = static_cast<double>(steps) * one_stats.wall_seconds;
+  EXPECT_NEAR(scale_stats.wall_seconds, expect, 1e-9 * expect);
+}
+
+// The headline extrapolation bound (stated in DESIGN.md): on a config where
+// the exact run is affordable, the sampled epoch's charged seconds land
+// within 20% of the exact epoch's. Mini-batches differ across steps, so
+// this is an accuracy bound, not an identity.
+TEST(ScaleSampledTest, ExtrapolatedEpochTimeIsWithinBoundOfExactRun) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  for (const Strategy strategy : kAllStrategies) {
+    SCOPED_TRACE(ToString(strategy));
+    EngineOptions scale_opts = BaseOptions(strategy);
+    scale_opts.sim.scale_mode = ScaleMode::kScale;
+    scale_opts.scale_sample_period = 4;
+    scale_opts.max_steps_per_epoch = 16;
+    auto scale = MakeTrainerWithOptions(ds, cluster, scale_opts);
+    const EpochStats scale_stats = scale->TrainEpoch(0);
+
+    EngineOptions exact_opts = BaseOptions(strategy);
+    exact_opts.max_steps_per_epoch = 16;
+    auto exact = MakeTrainerWithOptions(ds, cluster, exact_opts);
+    const EpochStats exact_stats = exact->TrainEpoch(0);
+
+    EXPECT_NEAR(scale_stats.wall_seconds, exact_stats.wall_seconds,
+                0.20 * exact_stats.wall_seconds);
+    EXPECT_NEAR(scale_stats.sim_seconds, exact_stats.sim_seconds,
+                0.20 * exact_stats.sim_seconds);
+  }
+}
+
+// Scale mode off must remain byte-for-byte the pre-scale-mode engine: the
+// default options train identically whether the scale fields are at their
+// defaults or explicitly zeroed.
+TEST(ScaleSampledTest, ScaleModeOffIsUnchangedByScaleKnobs) {
+  const Dataset ds = SmallDataset(/*feature_dim=*/32, /*nodes=*/8000);
+  const ClusterSpec cluster = SingleMachineCluster(4);
+  EngineOptions a = BaseOptions(Strategy::kGDP);
+  a.max_steps_per_epoch = 6;
+  EngineOptions b = a;
+  b.scale_sample_period = 64;  // ignored while scale_mode == kOff
+  auto ta = MakeTrainerWithOptions(ds, cluster, a);
+  auto tb = MakeTrainerWithOptions(ds, cluster, b);
+  const EpochStats sa = ta->TrainEpoch(0);
+  const EpochStats sb = tb->TrainEpoch(0);
+  EXPECT_EQ(sa.loss, sb.loss);
+  EXPECT_EQ(sa.wall_seconds, sb.wall_seconds);
+  EXPECT_EQ(sa.steps_fast_forwarded, 0);
+  EXPECT_EQ(MaxParamDiff(ta->model0(), tb->model0()), 0.0);
+}
+
+}  // namespace
+}  // namespace apt

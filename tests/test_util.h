@@ -79,6 +79,35 @@ inline std::unique_ptr<ParallelTrainer> MakeTrainer(
   return std::make_unique<ParallelTrainer>(ds, std::move(setup));
 }
 
+/// As MakeTrainer, but driven by a fully caller-specified EngineOptions —
+/// the scale-mode suites tweak sim options / sampling periods / step caps
+/// that the positional MakeTrainer signature doesn't expose. The model is
+/// derived the same way (Sage, hidden 16 unless overridden).
+inline std::unique_ptr<ParallelTrainer> MakeTrainerWithOptions(
+    const Dataset& ds, const ClusterSpec& cluster, EngineOptions opts,
+    std::int64_t hidden = 0, ModelKind kind = ModelKind::kSage) {
+  ModelConfig model;
+  model.kind = kind;
+  model.num_layers = static_cast<int>(opts.fanouts.size());
+  model.hidden_dim = hidden > 0 ? hidden : (kind == ModelKind::kGat ? 4 : 16);
+  model.gat_heads = 2;
+  model.input_dim = ds.feature_dim();
+  model.num_classes = ds.num_classes;
+
+  MultilevelPartitioner part;
+  std::vector<PartId> partition = part.Partition(ds.graph, cluster.num_devices());
+  const DryRunResult dry = DryRun(ds, cluster, partition, opts, model);
+
+  TrainerSetup setup;
+  setup.cluster = cluster;
+  setup.model = model;
+  setup.engine = opts;
+  setup.partition = std::move(partition);
+  setup.cache = dry.caches[static_cast<std::size_t>(opts.strategy)];
+  setup.feature_placement = FeaturePlacementFromPartition(setup.partition, cluster);
+  return std::make_unique<ParallelTrainer>(ds, std::move(setup));
+}
+
 /// Max absolute parameter difference between two trained replicas.
 inline double MaxParamDiff(GnnModel& a, GnnModel& b) {
   const auto pa = a.Params();
